@@ -1,0 +1,41 @@
+# Development targets for the basrpt reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover experiments stability fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table/figure at the default (medium) scale.
+experiments:
+	$(GO) run ./cmd/basrptbench -exp all -scale medium
+
+# The long-horizon stability showcase (several minutes of wall time).
+stability:
+	$(GO) run ./cmd/basrptbench -exp stability -racks 2 -hosts 6 -duration 120 -csvdir results
+
+# Short fuzzing passes over the parsing-adjacent substrates.
+fuzz:
+	$(GO) test -fuzz FuzzGreedyMaximal -fuzztime 15s ./internal/matching/
+	$(GO) test -fuzz FuzzHungarianFeasible -fuzztime 15s ./internal/matching/
+	$(GO) test -fuzz FuzzEmpiricalCDFRoundTrip -fuzztime 15s ./internal/stats/
+	$(GO) test -fuzz FuzzPercentile -fuzztime 15s ./internal/stats/
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/matching/testdata internal/stats/testdata

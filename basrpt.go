@@ -1,0 +1,322 @@
+// Package basrpt is a Go reproduction of "Backlog-Aware SRPT Flow
+// Scheduling in Data Center Networks" (Zhang, Ren, Shu — ICDCS 2016): the
+// BASRPT and fast BASRPT scheduling disciplines, the SRPT/MaxWeight/FIFO
+// baselines, a continuous-time flow-level data-center fabric simulator, a
+// slotted input-queued switch model, the paper's query+background traffic
+// generator, and runners that regenerate every table and figure of the
+// paper's evaluation.
+//
+// This root package is the public API: it re-exports the curated surface
+// of the internal packages. Quick start:
+//
+//	topo, _ := basrpt.NewTopology(basrpt.ScaledTopology(2, 4))
+//	gen, _ := basrpt.NewMixedWorkload(basrpt.MixedConfig{
+//		Topology:          topo,
+//		Load:              0.8,
+//		QueryByteFraction: basrpt.DefaultQueryByteFraction,
+//		Duration:          2,
+//		Seed:              1,
+//	})
+//	sim, _ := basrpt.NewFabricSim(basrpt.FabricConfig{
+//		Hosts:     topo.NumHosts(),
+//		LinkBps:   topo.HostLinkBps(),
+//		Scheduler: basrpt.NewFastBASRPT(2500),
+//		Generator: gen,
+//		Duration:  2,
+//	})
+//	res, _ := sim.Run()
+//	fmt.Println(res.FCT.Stats(basrpt.ClassQuery).MeanMs)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory.
+package basrpt
+
+import (
+	"basrpt/internal/core"
+	"basrpt/internal/fabricsim"
+	"basrpt/internal/flow"
+	"basrpt/internal/metrics"
+	"basrpt/internal/sched"
+	"basrpt/internal/stats"
+	"basrpt/internal/switchsim"
+	"basrpt/internal/topology"
+	"basrpt/internal/workload"
+)
+
+// Scheduling disciplines (see internal/sched for the algorithmic details).
+type (
+	// Scheduler selects the set of flows to transmit after every arrival
+	// and completion; decisions are crossbar matchings.
+	Scheduler = sched.Scheduler
+	// SchedulerOptions parameterizes NewScheduler.
+	SchedulerOptions = sched.Options
+)
+
+// NewSRPT returns the SRPT baseline (pFabric-style greedy shortest
+// remaining size first).
+func NewSRPT() Scheduler { return sched.NewSRPT() }
+
+// NewFastBASRPT returns the paper's Algorithm 1 with tradeoff weight v:
+// flows are selected in non-decreasing order of (v/N)·remaining − backlog.
+func NewFastBASRPT(v float64) Scheduler { return sched.NewFastBASRPT(v) }
+
+// NewExactBASRPT returns the exhaustive drift-plus-penalty minimizer
+// (Section IV-A); it is factorial in ports and panics beyond maxPorts
+// (0 selects the default limit of 8).
+func NewExactBASRPT(v float64, maxPorts int) Scheduler { return sched.NewExactBASRPT(v, maxPorts) }
+
+// NewMaxWeight returns longest-queue-first — the V = 0 limit of BASRPT.
+func NewMaxWeight() Scheduler { return sched.NewMaxWeight() }
+
+// NewFIFOMatch returns oldest-flow-first matching.
+func NewFIFOMatch() Scheduler { return sched.NewFIFOMatch() }
+
+// NewThresholdBacklog returns the Figure 2 motivation strategy: VOQs whose
+// backlog exceeds threshold jump ahead of the SRPT order.
+func NewThresholdBacklog(threshold float64) Scheduler { return sched.NewThresholdBacklog(threshold) }
+
+// NewScheduler builds a discipline by registry name ("srpt",
+// "fast-basrpt", "exact-basrpt", "maxweight", "fifo", "threshold",
+// "random").
+func NewScheduler(name string, opts SchedulerOptions) (Scheduler, error) {
+	return sched.New(name, opts)
+}
+
+// SchedulerNames lists the registry names accepted by NewScheduler.
+func SchedulerNames() []string { return sched.Names() }
+
+// Flow model.
+type (
+	// Flow is one transfer in the fabric.
+	Flow = flow.Flow
+	// FlowClass labels flows for per-class metrics.
+	FlowClass = flow.Class
+)
+
+// Flow classes.
+const (
+	ClassQuery      = flow.ClassQuery
+	ClassBackground = flow.ClassBackground
+	ClassOther      = flow.ClassOther
+)
+
+// Topology (the multi-rooted tree of the paper's Figure 4).
+type (
+	// Topology is a validated fabric.
+	Topology = topology.Topology
+	// TopologyConfig describes racks, hosts and link speeds.
+	TopologyConfig = topology.Config
+)
+
+// PaperTopology returns the evaluation fabric: 144 hosts, 12 racks,
+// 3 cores, 10G edge links.
+func PaperTopology() TopologyConfig { return topology.Paper() }
+
+// ScaledTopology shrinks the paper fabric while staying non-blocking.
+func ScaledTopology(racks, hostsPerRack int) TopologyConfig {
+	return topology.Scaled(racks, hostsPerRack)
+}
+
+// NewTopology validates and builds a topology.
+func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
+
+// Workload generation (Section V-A traffic).
+type (
+	// Arrival is one generated flow arrival.
+	Arrival = workload.Arrival
+	// Generator yields arrivals in time order.
+	Generator = workload.Generator
+	// MixedConfig parameterizes the query+background mix.
+	MixedConfig = workload.MixedConfig
+	// IncastConfig parameterizes the partition/aggregate (incast) pattern.
+	IncastConfig = workload.IncastConfig
+)
+
+// DefaultQueryByteFraction is the query/background byte split used by the
+// experiment harness (the paper does not publish one).
+const DefaultQueryByteFraction = workload.DefaultQueryByteFraction
+
+// QueryBytes is the paper's fixed 20KB query size.
+const QueryBytes = workload.QueryBytes
+
+// NewMixedWorkload builds the two-class Poisson traffic generator.
+func NewMixedWorkload(cfg MixedConfig) (Generator, error) { return workload.NewMixed(cfg) }
+
+// NewSliceWorkload replays a fixed arrival list.
+func NewSliceWorkload(arrivals []Arrival) Generator { return workload.NewSliceGenerator(arrivals) }
+
+// NewIncastWorkload builds the partition/aggregate (incast) generator the
+// paper's introduction motivates: per job, Fanout fixed-size responses
+// converge on one aggregator host.
+func NewIncastWorkload(cfg IncastConfig) (Generator, error) { return workload.NewIncast(cfg) }
+
+// Randomness and distributions.
+type (
+	// RNG is the deterministic generator used throughout the simulators.
+	RNG = stats.RNG
+	// Sampler draws values from a distribution.
+	Sampler = stats.Sampler
+)
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
+
+// WebSearchSizes returns the DCTCP web-search flow-size distribution
+// (bytes) the paper cites for background flows.
+func WebSearchSizes() Sampler { return workload.WebSearchBytes() }
+
+// DataMiningSizes returns the VL2 data-mining flow-size distribution
+// (bytes).
+func DataMiningSizes() Sampler { return workload.DataMiningBytes() }
+
+// Fabric simulator (the paper's Java flow-level simulator rebuilt).
+type (
+	// FabricConfig parameterizes a run.
+	FabricConfig = fabricsim.Config
+	// FabricResult carries FCTs, throughput and queue series.
+	FabricResult = fabricsim.Result
+	// FabricSim is one simulation instance.
+	FabricSim = fabricsim.Sim
+)
+
+// NewFabricSim validates the configuration and prepares a run.
+func NewFabricSim(cfg FabricConfig) (*FabricSim, error) { return fabricsim.New(cfg) }
+
+// Slotted switch model (paper Eq. 1).
+type (
+	// SwitchConfig parameterizes the slotted input-queued switch.
+	SwitchConfig = switchsim.Config
+	// SwitchSim is one slotted simulation.
+	SwitchSim = switchsim.Sim
+	// FlowArrival is a scripted slotted-model arrival.
+	FlowArrival = switchsim.FlowArrival
+)
+
+// NewSwitchSim builds a slotted-switch simulation.
+func NewSwitchSim(cfg SwitchConfig) (*SwitchSim, error) { return switchsim.New(cfg) }
+
+// NewScriptedArrivals replays fixed slotted arrivals.
+func NewScriptedArrivals(arrivals []FlowArrival) switchsim.ArrivalProcess {
+	return switchsim.NewScriptedArrivals(arrivals)
+}
+
+// Metrics.
+type (
+	// FCTStats summarizes one flow class in milliseconds.
+	FCTStats = metrics.ClassStats
+	// Series is a time-indexed sample sequence.
+	Series = metrics.Series
+)
+
+// Experiments (the paper's tables and figures; see DESIGN.md §3).
+type (
+	// Scale selects experiment fidelity (paper scale vs reduced).
+	Scale = core.Scale
+	// Fig1Result is the 3-flow instability example.
+	Fig1Result = core.Fig1Result
+	// Fig2Result is the queue-length motivation experiment.
+	Fig2Result = core.Fig2Result
+	// SaturationResult backs Table I and Figure 5.
+	SaturationResult = core.SaturationResult
+	// Fig6Result is the load sweep.
+	Fig6Result = core.Fig6Result
+	// VSweepResult backs Figures 7 and 8.
+	VSweepResult = core.VSweepResult
+	// TheoremResult validates Theorem 1 on the slotted switch.
+	TheoremResult = core.TheoremResult
+	// DTMCResult is the tiny-switch stationary analysis.
+	DTMCResult = core.DTMCResult
+	// AblationResult compares exact and fast BASRPT decisions.
+	AblationResult = core.AblationResult
+	// DistributedResult measures the request/grant emulation of fast
+	// BASRPT against the centralized decisions.
+	DistributedResult = core.DistributedResult
+	// NoiseResult sweeps flow-size estimation error.
+	NoiseResult = core.NoiseResult
+	// IncastResult compares schedulers under the partition/aggregate
+	// pattern.
+	IncastResult = core.IncastResult
+)
+
+// Predefined experiment scales.
+var (
+	ScaleSmall  = core.ScaleSmall
+	ScaleMedium = core.ScaleMedium
+	ScalePaper  = core.ScalePaper
+)
+
+// DefaultV is the paper's demonstration tradeoff weight (2500).
+const DefaultV = core.DefaultV
+
+// GrowthThreshold is the growth ratio above which a queue series is
+// classified as macro-scale growing (see Series.Trend).
+const GrowthThreshold = core.GrowthThreshold
+
+// RunFig1 reproduces Figure 1.
+func RunFig1() (*Fig1Result, error) { return core.RunFig1() }
+
+// RunFig2 reproduces Figure 2 (threshold <= 0 selects the default).
+func RunFig2(scale Scale, threshold float64) (*Fig2Result, error) {
+	return core.RunFig2(scale, threshold)
+}
+
+// RunSaturation reproduces the near-capacity run behind Table I and
+// Figure 5 (v <= 0 selects DefaultV).
+func RunSaturation(scale Scale, v float64) (*SaturationResult, error) {
+	return core.RunSaturation(scale, v)
+}
+
+// RunLoadPair runs SRPT and fast BASRPT head-to-head on an identical
+// arrival stream at an arbitrary load.
+func RunLoadPair(scale Scale, v, load float64) (*SaturationResult, error) {
+	return core.RunLoadPair(scale, v, load)
+}
+
+// RunStability is the reduced-scale stability showcase behind Figures 2
+// and 5(b): SRPT's queue grows while fast BASRPT's stabilizes. Use
+// horizons of 40+ simulated seconds.
+func RunStability(scale Scale, v float64) (*SaturationResult, error) {
+	return core.RunStability(scale, v)
+}
+
+// RunDistributed measures how closely the request/grant distributed
+// emulation of fast BASRPT tracks the centralized decisions per
+// arbitration-round budget.
+func RunDistributed(n, trials int, v float64, rounds []int, seed uint64) (*DistributedResult, error) {
+	return core.RunDistributed(n, trials, v, rounds, seed)
+}
+
+// RunNoise sweeps flow-size estimation error levels for fast BASRPT.
+func RunNoise(scale Scale, v, load float64, levels []float64) (*NoiseResult, error) {
+	return core.RunNoise(scale, v, load, levels)
+}
+
+// RunIncast compares SRPT and fast BASRPT under the partition/aggregate
+// (incast) pattern.
+func RunIncast(scale Scale, v float64, fanout int, jobsPerSecond, backgroundLoad float64) (*IncastResult, error) {
+	return core.RunIncast(scale, v, fanout, jobsPerSecond, backgroundLoad)
+}
+
+// RunFig6 reproduces the Figure 6 load sweep (nil loads selects the
+// paper's 10%–80%).
+func RunFig6(scale Scale, v float64, loads []float64) (*Fig6Result, error) {
+	return core.RunFig6(scale, v, loads)
+}
+
+// RunVSweep reproduces Figures 7 and 8 (nil selects the paper's V range).
+func RunVSweep(scale Scale, vs []float64) (*VSweepResult, error) {
+	return core.RunVSweep(scale, vs)
+}
+
+// RunTheorem1 validates Theorem 1 on an n-port slotted switch.
+func RunTheorem1(n int, load float64, slots int64, vs []float64, seed uint64) (*TheoremResult, error) {
+	return core.RunTheorem1(n, load, slots, vs, seed)
+}
+
+// RunDTMC runs the tiny-switch stationary-distribution comparison.
+func RunDTMC(capacity int, v float64) (*DTMCResult, error) { return core.RunDTMC(capacity, v) }
+
+// RunExactVsFast measures the exact-vs-fast decision gap.
+func RunExactVsFast(n, trials int, v float64, seed uint64) (*AblationResult, error) {
+	return core.RunExactVsFast(n, trials, v, seed)
+}

@@ -1,0 +1,151 @@
+// Command basrptsim runs one flow-level fabric simulation with a chosen
+// scheduler and workload and prints the resulting metrics:
+//
+//	basrptsim -scheduler fast-basrpt -v 2500 -load 0.95 -racks 4 -hosts 6 -duration 5
+//	basrptsim -scheduler srpt -load 0.6 -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"basrpt"
+	"basrpt/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "basrptsim:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the JSON export shape.
+type summary struct {
+	Scheduler      string  `json:"scheduler"`
+	Hosts          int     `json:"hosts"`
+	Load           float64 `json:"load"`
+	DurationSec    float64 `json:"durationSec"`
+	ArrivedFlows   int     `json:"arrivedFlows"`
+	CompletedFlows int     `json:"completedFlows"`
+	ThroughputGbps float64 `json:"throughputGbps"`
+	LeftoverBytes  float64 `json:"leftoverBytes"`
+	QueryAvgMs     float64 `json:"queryAvgMs"`
+	QueryP99Ms     float64 `json:"queryP99Ms"`
+	BgAvgMs        float64 `json:"backgroundAvgMs"`
+	BgP99Ms        float64 `json:"backgroundP99Ms"`
+	QueueVerdict   string  `json:"queueVerdict"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("basrptsim", flag.ContinueOnError)
+	var (
+		schedName = fs.String("scheduler", "fast-basrpt", fmt.Sprintf("scheduling discipline %v", basrpt.SchedulerNames()))
+		v         = fs.Float64("v", basrpt.DefaultV, "BASRPT tradeoff weight V")
+		threshold = fs.Float64("threshold", 5e6, "threshold scheduler backlog threshold (bytes)")
+		load      = fs.Float64("load", 0.8, "per-port offered load in (0, 1)")
+		racks     = fs.Int("racks", 4, "number of racks")
+		hosts     = fs.Int("hosts", 6, "hosts per rack")
+		duration  = fs.Float64("duration", 4, "simulated seconds")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		queryFrac = fs.Float64("queryfrac", basrpt.DefaultQueryByteFraction, "fraction of offered bytes carried by 20KB queries")
+		pattern   = fs.String("workload", "mixed", "traffic pattern: mixed (paper Section V-A) or incast (partition/aggregate)")
+		fanout    = fs.Int("fanout", 8, "incast: backends per job")
+		jobRate   = fs.Float64("jobs", 500, "incast: partition/aggregate jobs per second")
+		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := basrpt.NewTopology(basrpt.ScaledTopology(*racks, *hosts))
+	if err != nil {
+		return err
+	}
+	if err := topo.ValidateNonBlocking(); err != nil {
+		return err
+	}
+	scheduler, err := basrpt.NewScheduler(*schedName, basrpt.SchedulerOptions{
+		V: *v, Threshold: *threshold, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	var gen basrpt.Generator
+	switch *pattern {
+	case "mixed":
+		gen, err = basrpt.NewMixedWorkload(basrpt.MixedConfig{
+			Topology:          topo,
+			Load:              *load,
+			QueryByteFraction: *queryFrac,
+			Duration:          *duration,
+			Seed:              *seed,
+		})
+	case "incast":
+		gen, err = basrpt.NewIncastWorkload(basrpt.IncastConfig{
+			Topology:       topo,
+			JobsPerSecond:  *jobRate,
+			Fanout:         *fanout,
+			BackgroundLoad: *load,
+			Duration:       *duration,
+			Seed:           *seed,
+		})
+	default:
+		return fmt.Errorf("unknown workload %q (mixed|incast)", *pattern)
+	}
+	if err != nil {
+		return err
+	}
+	sim, err := basrpt.NewFabricSim(basrpt.FabricConfig{
+		Hosts:     topo.NumHosts(),
+		LinkBps:   topo.HostLinkBps(),
+		Scheduler: scheduler,
+		Generator: gen,
+		Duration:  *duration,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+
+	q := res.FCT.Stats(basrpt.ClassQuery)
+	bg := res.FCT.Stats(basrpt.ClassBackground)
+	out := summary{
+		Scheduler:      res.SchedulerName,
+		Hosts:          topo.NumHosts(),
+		Load:           *load,
+		DurationSec:    *duration,
+		ArrivedFlows:   res.ArrivedFlows,
+		CompletedFlows: res.CompletedFlows,
+		ThroughputGbps: res.AverageGbps(),
+		LeftoverBytes:  res.LeftoverBytes,
+		QueryAvgMs:     q.MeanMs,
+		QueryP99Ms:     q.P99Ms,
+		BgAvgMs:        bg.MeanMs,
+		BgP99Ms:        bg.P99Ms,
+		QueueVerdict:   res.MaxPortSeries.Trend(basrpt.GrowthThreshold).Verdict.String(),
+	}
+	if *jsonOut {
+		return trace.WriteJSON(w, out)
+	}
+
+	tbl := trace.Table{
+		Title:   fmt.Sprintf("%s on %d hosts at %.0f%% load for %gs", out.Scheduler, out.Hosts, out.Load*100, out.DurationSec),
+		Headers: []string{"metric", "value"},
+	}
+	tbl.AddRow("flows arrived/completed", fmt.Sprintf("%d / %d", out.ArrivedFlows, out.CompletedFlows))
+	tbl.AddRow("throughput", trace.Gbps(out.ThroughputGbps)+" Gbps")
+	tbl.AddRow("leftover backlog", trace.Bytes(out.LeftoverBytes))
+	tbl.AddRow("query FCT avg / 99th", trace.Ms(out.QueryAvgMs)+" / "+trace.Ms(out.QueryP99Ms)+" ms")
+	tbl.AddRow("background FCT avg / 99th", trace.Ms(out.BgAvgMs)+" / "+trace.Ms(out.BgP99Ms)+" ms")
+	tbl.AddRow("queue trend", out.QueueVerdict)
+	fmt.Fprint(w, tbl.Render())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, trace.Chart("max-port backlog (bytes)", &res.MaxPortSeries, 60, 8))
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-scheduler", "fast-basrpt", "-racks", "2", "-hosts", "3",
+		"-duration", "0.3", "-load", "0.5",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fast-basrpt", "throughput", "query FCT", "queue trend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-scheduler", "srpt", "-racks", "2", "-hosts", "3",
+		"-duration", "0.3", "-load", "0.5", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got summary
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Scheduler != "srpt" || got.Hosts != 6 {
+		t.Fatalf("summary = %+v", got)
+	}
+	if got.CompletedFlows == 0 || got.ThroughputGbps <= 0 {
+		t.Fatalf("empty metrics: %+v", got)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-scheduler", "bogus"},
+		{"-load", "1.5", "-racks", "2", "-hosts", "3"},
+		{"-racks", "0"},
+		{"-unknownflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(append(args, "-duration", "0.1"), &buf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunAllRegistrySchedulers(t *testing.T) {
+	for _, name := range []string{"srpt", "fast-basrpt", "maxweight", "fifo", "threshold", "random"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-scheduler", name, "-racks", "2", "-hosts", "2",
+			"-duration", "0.15", "-load", "0.4",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunIncastWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workload", "incast", "-racks", "2", "-hosts", "3",
+		"-duration", "0.2", "-load", "0.3", "-fanout", "3", "-jobs", "200",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "query FCT") {
+		t.Fatalf("incast output missing FCTs:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "chaos"}, &buf); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

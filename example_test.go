@@ -1,0 +1,87 @@
+package basrpt_test
+
+import (
+	"fmt"
+	"log"
+
+	"basrpt"
+)
+
+// ExampleRunFig1 reproduces the paper's Figure 1 instability example.
+func ExampleRunFig1() {
+	res, err := basrpt.RunFig1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("srpt leftover: %g packet(s)\n", res.SRPT.LeftoverPackets)
+	fmt.Printf("backlog-aware leftover: %g packet(s)\n", res.BacklogAware.LeftoverPackets)
+	// Output:
+	// srpt leftover: 1 packet(s)
+	// backlog-aware leftover: 0 packet(s)
+}
+
+// ExampleNewFastBASRPT runs one small fabric simulation end to end.
+func ExampleNewFastBASRPT() {
+	topo, err := basrpt.NewTopology(basrpt.ScaledTopology(2, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := basrpt.NewMixedWorkload(basrpt.MixedConfig{
+		Topology:          topo,
+		Load:              0.5,
+		QueryByteFraction: basrpt.DefaultQueryByteFraction,
+		Duration:          0.5,
+		Seed:              1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := basrpt.NewFabricSim(basrpt.FabricConfig{
+		Hosts:     topo.NumHosts(),
+		LinkBps:   topo.HostLinkBps(),
+		Scheduler: basrpt.NewFastBASRPT(basrpt.DefaultV),
+		Generator: gen,
+		Duration:  0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all %v flows completed: %v\n", res.ArrivedFlows > 0, res.CompletedFlows == res.ArrivedFlows-res.LeftoverFlows)
+	// Output:
+	// all true flows completed: true
+}
+
+// ExampleNewSwitchSim walks the slotted model through a scripted scenario.
+func ExampleNewSwitchSim() {
+	sim, err := basrpt.NewSwitchSim(basrpt.SwitchConfig{
+		N:         2,
+		Scheduler: basrpt.NewSRPT(),
+		Arrivals: basrpt.NewScriptedArrivals([]basrpt.FlowArrival{
+			{Slot: 0, Src: 0, Dst: 1, Packets: 3},
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Run(4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d flow(s), %g packet(s) left\n", sim.CompletedFlows(), sim.Backlog())
+	// Output:
+	// completed 1 flow(s), 0 packet(s) left
+}
+
+// ExampleNewScheduler shows registry-based construction.
+func ExampleNewScheduler() {
+	s, err := basrpt.NewScheduler("fast-basrpt", basrpt.SchedulerOptions{V: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.Name())
+	// Output:
+	// fast-basrpt(V=1000)
+}

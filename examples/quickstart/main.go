@@ -1,0 +1,67 @@
+// Quickstart: simulate a small fabric under fast BASRPT and print the
+// flow-completion-time and throughput metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"basrpt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 2-rack, 8-host fabric with the paper's bandwidth ratios.
+	topo, err := basrpt.NewTopology(basrpt.ScaledTopology(2, 4))
+	if err != nil {
+		return err
+	}
+	if err := topo.ValidateNonBlocking(); err != nil {
+		return err
+	}
+
+	// The paper's traffic mix: 20KB queries fanning out across the fabric
+	// plus rack-local heavy-tailed background flows, at 80% port load.
+	gen, err := basrpt.NewMixedWorkload(basrpt.MixedConfig{
+		Topology:          topo,
+		Load:              0.8,
+		QueryByteFraction: basrpt.DefaultQueryByteFraction,
+		Duration:          2,
+		Seed:              42,
+	})
+	if err != nil {
+		return err
+	}
+
+	sim, err := basrpt.NewFabricSim(basrpt.FabricConfig{
+		Hosts:     topo.NumHosts(),
+		LinkBps:   topo.HostLinkBps(),
+		Scheduler: basrpt.NewFastBASRPT(basrpt.DefaultV),
+		Generator: gen,
+		Duration:  2,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheduler:            %s\n", res.SchedulerName)
+	fmt.Printf("flows:                %d arrived, %d completed\n", res.ArrivedFlows, res.CompletedFlows)
+	fmt.Printf("global throughput:    %.2f Gbps\n", res.AverageGbps())
+	q := res.FCT.Stats(basrpt.ClassQuery)
+	bg := res.FCT.Stats(basrpt.ClassBackground)
+	fmt.Printf("query FCT:            avg %.3f ms, 99th %.3f ms (%d flows)\n", q.MeanMs, q.P99Ms, q.Count)
+	fmt.Printf("background FCT:       avg %.3f ms, 99th %.3f ms (%d flows)\n", bg.MeanMs, bg.P99Ms, bg.Count)
+	fmt.Printf("leftover backlog:     %.0f bytes in %d flows\n", res.LeftoverBytes, res.LeftoverFlows)
+	return nil
+}

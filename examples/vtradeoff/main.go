@@ -1,0 +1,43 @@
+// V tradeoff study: sweep the BASRPT weight V at near-saturating load and
+// print the Figures 7/8 style tables — larger V buys lower query FCT at
+// the cost of a slightly higher stable queue.
+//
+//	go run ./examples/vtradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"basrpt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scale := basrpt.ScaleSmall
+	scale.Duration = 2
+
+	res, err := basrpt.RunVSweep(scale, []float64{500, 1000, 2500, 5000, 10000})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.RenderFig7())
+	fmt.Println()
+	fmt.Print(res.RenderFig8())
+
+	// The theory side of the same knob: Theorem 1 constants on the slotted
+	// switch — the delay-gap bound shrinks as 1/V while the backlog bound
+	// grows as O(V).
+	fmt.Println()
+	theorem, err := basrpt.RunTheorem1(4, 0.85, 50000, []float64{1, 8, 64, 512}, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Print(theorem.Render())
+	return nil
+}

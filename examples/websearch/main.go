@@ -1,0 +1,42 @@
+// Web-search load sweep: compare SRPT and fast BASRPT on the paper's
+// web-search workload across loads, printing the Figure 6 style table —
+// near-identical FCTs at low load, stability divergence near saturation.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"basrpt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scale := basrpt.ScaleSmall
+	scale.Duration = 2
+
+	res, err := basrpt.RunFig6(scale, basrpt.DefaultV, []float64{0.2, 0.4, 0.6, 0.8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+
+	// Push into the stability regime: the saturation run behind Table I.
+	fmt.Println("\nnear saturation (95% load):")
+	sat, err := basrpt.RunSaturation(scale, basrpt.DefaultV)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  srpt:        %.2f Gbps, leftover %.1f MB, queue %s\n",
+		sat.SRPT.AverageGbps(), sat.SRPT.LeftoverBytes/1e6, sat.SRPTTrend.Verdict)
+	fmt.Printf("  fast-basrpt: %.2f Gbps, leftover %.1f MB, queue %s\n",
+		sat.Fast.AverageGbps(), sat.Fast.LeftoverBytes/1e6, sat.FastTrend.Verdict)
+	return nil
+}

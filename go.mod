@@ -1,0 +1,3 @@
+module basrpt
+
+go 1.22

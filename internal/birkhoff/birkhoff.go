@@ -1,0 +1,294 @@
+// Package birkhoff implements the doubly-stochastic-matrix machinery the
+// paper's stability argument rests on (Section IV-A): admissibility of an
+// input-rate matrix under the crossbar constraints (paper Eq. 2),
+// completion of an admissible matrix to a doubly stochastic one, the
+// Birkhoff–von Neumann decomposition of a doubly stochastic matrix into a
+// convex combination of permutation matrices, and the slack ε that appears
+// in Theorem 1's backlog bound.
+package birkhoff
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"basrpt/internal/matching"
+)
+
+// ErrNotAdmissible reports a rate matrix violating the crossbar necessary
+// conditions (some row or column sum exceeds 1).
+var ErrNotAdmissible = errors.New("birkhoff: rate matrix not admissible")
+
+// ErrNotDoublyStochastic reports a matrix whose line sums are not all 1.
+var ErrNotDoublyStochastic = errors.New("birkhoff: matrix not doubly stochastic")
+
+// ErrNotSquare reports a non-square input.
+var ErrNotSquare = errors.New("birkhoff: matrix not square")
+
+func validateSquare(m [][]float64) (int, error) {
+	n := len(m)
+	for i, row := range m {
+		if len(row) != n {
+			return 0, fmt.Errorf("%w: row %d has %d entries, want %d", ErrNotSquare, i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("birkhoff: invalid entry m[%d][%d] = %g", i, j, v)
+			}
+		}
+	}
+	return n, nil
+}
+
+// LineSums returns the row sums and column sums of m.
+func LineSums(m [][]float64) (rows, cols []float64) {
+	n := len(m)
+	rows = make([]float64, n)
+	cols = make([]float64, n)
+	for i := range m {
+		for j, v := range m[i] {
+			rows[i] += v
+			cols[j] += v
+		}
+	}
+	return rows, cols
+}
+
+// MaxLineSum returns the largest row or column sum of m, i.e. the busiest
+// port's normalized load.
+func MaxLineSum(m [][]float64) float64 {
+	rows, cols := LineSums(m)
+	var maxSum float64
+	for _, v := range rows {
+		if v > maxSum {
+			maxSum = v
+		}
+	}
+	for _, v := range cols {
+		if v > maxSum {
+			maxSum = v
+		}
+	}
+	return maxSum
+}
+
+// CheckAdmissible verifies paper Eq. (2): every row and column sum of the
+// rate matrix is at most 1 (+tol). A nil error means the traffic is within
+// network capacity.
+func CheckAdmissible(m [][]float64, tol float64) error {
+	if _, err := validateSquare(m); err != nil {
+		return err
+	}
+	rows, cols := LineSums(m)
+	for i, v := range rows {
+		if v > 1+tol {
+			return fmt.Errorf("%w: ingress port %d offered load %g > 1", ErrNotAdmissible, i, v)
+		}
+	}
+	for j, v := range cols {
+		if v > 1+tol {
+			return fmt.Errorf("%w: egress port %d offered load %g > 1", ErrNotAdmissible, j, v)
+		}
+	}
+	return nil
+}
+
+// Complete raises entries of an admissible matrix until it is doubly
+// stochastic, returning a new matrix M with M >= m entrywise and all line
+// sums exactly 1. This is the paper's "by appropriately increasing some of
+// the entries of Λ we could get a doubly stochastic matrix M".
+func Complete(m [][]float64) ([][]float64, error) {
+	n, err := validateSquare(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckAdmissible(m, 1e-9); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		copy(out[i], m[i])
+	}
+	rows, cols := LineSums(out)
+	// Repeatedly pick a deficient row and a deficient column and add mass
+	// at their intersection. Each step saturates at least one line, so it
+	// terminates within 2n steps.
+	const eps = 1e-12
+	for {
+		ri := -1
+		for i, v := range rows {
+			if v < 1-eps {
+				ri = i
+				break
+			}
+		}
+		if ri == -1 {
+			break
+		}
+		cj := -1
+		for j, v := range cols {
+			if v < 1-eps {
+				cj = j
+				break
+			}
+		}
+		if cj == -1 {
+			// Total row deficit always equals total column deficit, so a
+			// deficient row implies a deficient column; reaching here means
+			// numeric drift, which we repair by normalizing the row.
+			break
+		}
+		add := math.Min(1-rows[ri], 1-cols[cj])
+		out[ri][cj] += add
+		rows[ri] += add
+		cols[cj] += add
+	}
+	// Snap tiny residuals.
+	for i := range out {
+		var s float64
+		for _, v := range out[i] {
+			s += v
+		}
+		if d := 1 - s; math.Abs(d) > 0 && math.Abs(d) < 1e-9 {
+			out[i][i] += d
+			if out[i][i] < 0 {
+				out[i][i] = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+// Component is one term of a Birkhoff decomposition: permutation Perm
+// (Perm[i] is the column matched to row i) with convex weight Weight —
+// the paper's (M(σ), u(σ)) pair.
+type Component struct {
+	Perm   []int
+	Weight float64
+}
+
+// Decompose expresses a doubly stochastic matrix as a convex combination of
+// permutation matrices (Birkhoff's theorem). tol bounds both the doubly-
+// stochastic check and the terminal residual mass. The weights sum to 1
+// (within tol) and the permutations are distinct.
+func Decompose(m [][]float64, tol float64) ([]Component, error) {
+	n, err := validateSquare(m)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	rows, cols := LineSums(m)
+	for i := 0; i < n; i++ {
+		if math.Abs(rows[i]-1) > tol || math.Abs(cols[i]-1) > tol {
+			return nil, fmt.Errorf("%w: row %d sum %g, col %d sum %g", ErrNotDoublyStochastic, i, rows[i], i, cols[i])
+		}
+	}
+	work := make([][]float64, n)
+	for i := range work {
+		work[i] = make([]float64, n)
+		copy(work[i], m[i])
+	}
+	var comps []Component
+	remaining := 1.0
+	// Marcus–Ree: at most n^2 - 2n + 2 permutations are needed.
+	maxIter := n*n - 2*n + 2
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	for iter := 0; iter <= maxIter && remaining > tol; iter++ {
+		perm, ok := matching.PerfectMatchingOnSupport(work, tol/float64(n+1))
+		if !ok {
+			return nil, fmt.Errorf("birkhoff: no perfect matching on support with %g mass left", remaining)
+		}
+		theta := math.Inf(1)
+		for i, j := range perm {
+			if work[i][j] < theta {
+				theta = work[i][j]
+			}
+		}
+		if theta <= 0 {
+			return nil, errors.New("birkhoff: zero-weight component (numeric breakdown)")
+		}
+		if theta > remaining {
+			theta = remaining
+		}
+		for i, j := range perm {
+			work[i][j] -= theta
+			if work[i][j] < 0 {
+				work[i][j] = 0
+			}
+		}
+		comps = append(comps, Component{Perm: perm, Weight: theta})
+		remaining -= theta
+	}
+	if remaining > tol {
+		return nil, fmt.Errorf("birkhoff: decomposition left %g mass", remaining)
+	}
+	return comps, nil
+}
+
+// Reconstruct sums weight-scaled permutation matrices back into a matrix,
+// the inverse of Decompose (up to tolerance). Used by tests and by the
+// randomized-schedule construction.
+func Reconstruct(n int, comps []Component) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for _, c := range comps {
+		for i, j := range c.Perm {
+			out[i][j] += c.Weight
+		}
+	}
+	return out
+}
+
+// SlackLowerBound returns a guaranteed-achievable ε for Theorem 1: with
+// δ = 1 − MaxLineSum(Λ), padding every entry by δ/n keeps the matrix
+// admissible, so a randomized schedule exists with R̄ij ≥ λij + δ/n for all
+// (i, j). Returns 0 when the matrix is at or beyond capacity.
+func SlackLowerBound(m [][]float64) float64 {
+	n := len(m)
+	if n == 0 {
+		return 0
+	}
+	delta := 1 - MaxLineSum(m)
+	if delta <= 0 {
+		return 0
+	}
+	return delta / float64(n)
+}
+
+// SlackSchedule builds the randomized stabilizing schedule of Section IV-A:
+// it pads Λ by SlackLowerBound, completes to doubly stochastic, and
+// decomposes. The returned components are a probability distribution u over
+// permutations with Σ u(σ)·M(σ) ≥ Λ + ε entrywise.
+func SlackSchedule(lambda [][]float64) (comps []Component, epsilon float64, err error) {
+	n, err := validateSquare(lambda)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := CheckAdmissible(lambda, 1e-9); err != nil {
+		return nil, 0, err
+	}
+	epsilon = SlackLowerBound(lambda)
+	padded := make([][]float64, n)
+	for i := range padded {
+		padded[i] = make([]float64, n)
+		for j := range padded[i] {
+			padded[i][j] = lambda[i][j] + epsilon
+		}
+	}
+	completed, err := Complete(padded)
+	if err != nil {
+		return nil, 0, fmt.Errorf("complete padded matrix: %w", err)
+	}
+	comps, err = Decompose(completed, 1e-7)
+	if err != nil {
+		return nil, 0, fmt.Errorf("decompose completed matrix: %w", err)
+	}
+	return comps, epsilon, nil
+}

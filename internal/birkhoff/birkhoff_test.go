@@ -1,0 +1,259 @@
+package birkhoff
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"basrpt/internal/stats"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// randomAdmissible builds a random rate matrix with max line sum about
+// target (< 1).
+func randomAdmissible(r *stats.RNG, n int, target float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = r.Float64()
+		}
+	}
+	// Scale rows and columns down until within target.
+	for iter := 0; iter < 50; iter++ {
+		maxSum := MaxLineSum(m)
+		if maxSum <= target {
+			break
+		}
+		scale := target / maxSum
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] *= scale
+			}
+		}
+	}
+	return m
+}
+
+func TestLineSums(t *testing.T) {
+	m := [][]float64{
+		{0.1, 0.2},
+		{0.3, 0.4},
+	}
+	rows, cols := LineSums(m)
+	if !almost(rows[0], 0.3, 1e-12) || !almost(rows[1], 0.7, 1e-12) {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !almost(cols[0], 0.4, 1e-12) || !almost(cols[1], 0.6, 1e-12) {
+		t.Fatalf("cols = %v", cols)
+	}
+	if got := MaxLineSum(m); !almost(got, 0.7, 1e-12) {
+		t.Fatalf("MaxLineSum = %g, want 0.7", got)
+	}
+}
+
+func TestCheckAdmissible(t *testing.T) {
+	good := [][]float64{{0.5, 0.4}, {0.4, 0.5}}
+	if err := CheckAdmissible(good, 0); err != nil {
+		t.Fatalf("admissible matrix rejected: %v", err)
+	}
+	badRow := [][]float64{{0.9, 0.3}, {0, 0.1}}
+	if err := CheckAdmissible(badRow, 0); !errors.Is(err, ErrNotAdmissible) {
+		t.Fatalf("row overload not detected: %v", err)
+	}
+	badCol := [][]float64{{0.9, 0}, {0.3, 0.1}}
+	if err := CheckAdmissible(badCol, 0); !errors.Is(err, ErrNotAdmissible) {
+		t.Fatalf("column overload not detected: %v", err)
+	}
+	notSquare := [][]float64{{0.1, 0.2}}
+	if err := CheckAdmissible(notSquare, 0); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("non-square not detected: %v", err)
+	}
+	negative := [][]float64{{-0.1, 0}, {0, 0}}
+	if err := CheckAdmissible(negative, 0); err == nil {
+		t.Fatal("negative entry not detected")
+	}
+}
+
+func TestCompleteProducesDoublyStochasticDominating(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(6)
+		m := randomAdmissible(r, n, 0.8)
+		out, err := Complete(m)
+		if err != nil {
+			return false
+		}
+		rows, cols := LineSums(out)
+		for i := 0; i < n; i++ {
+			if !almost(rows[i], 1, 1e-8) || !almost(cols[i], 1, 1e-8) {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if out[i][j] < m[i][j]-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompleteRejectsOverload(t *testing.T) {
+	m := [][]float64{{1.5, 0}, {0, 0.5}}
+	if _, err := Complete(m); !errors.Is(err, ErrNotAdmissible) {
+		t.Fatalf("overloaded matrix accepted: %v", err)
+	}
+}
+
+func TestDecomposeIdentity(t *testing.T) {
+	m := [][]float64{{1, 0}, {0, 1}}
+	comps, err := Decompose(m, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || !almost(comps[0].Weight, 1, 1e-9) {
+		t.Fatalf("identity decomposition = %+v", comps)
+	}
+	if comps[0].Perm[0] != 0 || comps[0].Perm[1] != 1 {
+		t.Fatalf("identity perm = %v", comps[0].Perm)
+	}
+}
+
+func TestDecomposeUniform(t *testing.T) {
+	// The 3x3 uniform doubly stochastic matrix needs 3 permutations of
+	// weight 1/3 each (any decomposition has weights summing to 1).
+	n := 3
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = 1.0 / 3
+		}
+	}
+	comps, err := Decompose(m, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range comps {
+		total += c.Weight
+	}
+	if !almost(total, 1, 1e-8) {
+		t.Fatalf("weights sum to %g, want 1", total)
+	}
+	back := Reconstruct(n, comps)
+	for i := range m {
+		for j := range m[i] {
+			if !almost(back[i][j], m[i][j], 1e-8) {
+				t.Fatalf("reconstruction[%d][%d] = %g, want %g", i, j, back[i][j], m[i][j])
+			}
+		}
+	}
+}
+
+func TestDecomposeRejectsNonDS(t *testing.T) {
+	m := [][]float64{{0.5, 0.4}, {0.5, 0.5}}
+	if _, err := Decompose(m, 1e-9); !errors.Is(err, ErrNotDoublyStochastic) {
+		t.Fatalf("non-doubly-stochastic accepted: %v", err)
+	}
+}
+
+// TestDecomposeReconstructProperty: Complete then Decompose then
+// Reconstruct returns the completed matrix for random admissible inputs.
+func TestDecomposeReconstructProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(5)
+		m := randomAdmissible(r, n, 0.7)
+		completed, err := Complete(m)
+		if err != nil {
+			return false
+		}
+		comps, err := Decompose(completed, 1e-6)
+		if err != nil {
+			return false
+		}
+		// Permutation validity + weight positivity.
+		var total float64
+		for _, c := range comps {
+			if c.Weight <= 0 {
+				return false
+			}
+			total += c.Weight
+			seen := make([]bool, n)
+			for _, j := range c.Perm {
+				if j < 0 || j >= n || seen[j] {
+					return false
+				}
+				seen[j] = true
+			}
+		}
+		if !almost(total, 1, 1e-5) {
+			return false
+		}
+		back := Reconstruct(n, comps)
+		for i := range completed {
+			for j := range completed[i] {
+				if !almost(back[i][j], completed[i][j], 1e-5) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlackLowerBound(t *testing.T) {
+	m := [][]float64{{0.4, 0.2}, {0.2, 0.4}} // max line sum 0.6, delta 0.4
+	if got, want := SlackLowerBound(m), 0.2; !almost(got, want, 1e-12) {
+		t.Fatalf("SlackLowerBound = %g, want %g", got, want)
+	}
+	full := [][]float64{{1, 0}, {0, 1}}
+	if got := SlackLowerBound(full); got != 0 {
+		t.Fatalf("SlackLowerBound at capacity = %g, want 0", got)
+	}
+	if got := SlackLowerBound(nil); got != 0 {
+		t.Fatalf("SlackLowerBound(nil) = %g, want 0", got)
+	}
+}
+
+// TestSlackScheduleGuarantee: the randomized schedule's mean service rate
+// dominates λ + ε entrywise — the exact property Theorem 1 needs.
+func TestSlackScheduleGuarantee(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(4)
+		lambda := randomAdmissible(r, n, 0.75)
+		comps, eps, err := SlackSchedule(lambda)
+		if err != nil || eps <= 0 {
+			return false
+		}
+		rate := Reconstruct(n, comps)
+		for i := range lambda {
+			for j := range lambda[i] {
+				if rate[i][j]+1e-6 < lambda[i][j]+eps {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlackScheduleRejectsOverload(t *testing.T) {
+	if _, _, err := SlackSchedule([][]float64{{2}}); err == nil {
+		t.Fatal("overloaded matrix accepted")
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleDefaults(t *testing.T) {
+	var s Scale
+	s = s.withDefaults()
+	if s.Racks == 0 || s.HostsPerRack == 0 || s.Duration == 0 || s.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.WarmupFraction <= 0 || s.WarmupFraction >= 1 {
+		t.Fatalf("warmup fraction = %g", s.WarmupFraction)
+	}
+	if got := ScaleSmall.String(); !strings.Contains(got, "8 hosts") {
+		t.Fatalf("ScaleSmall.String() = %q", got)
+	}
+}
+
+func TestScaleTopology(t *testing.T) {
+	topo, err := ScalePaper.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumHosts() != 144 {
+		t.Fatalf("paper scale hosts = %d", topo.NumHosts())
+	}
+}
+
+func TestRunFig1MatchesPaper(t *testing.T) {
+	res, err := RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SRPT.LeftoverPackets != 1 {
+		t.Fatalf("SRPT leftover = %g, want 1", res.SRPT.LeftoverPackets)
+	}
+	if res.SRPT.CompletedFlows != 2 {
+		t.Fatalf("SRPT completed = %d, want 2", res.SRPT.CompletedFlows)
+	}
+	if res.BacklogAware.LeftoverPackets != 0 {
+		t.Fatalf("backlog-aware leftover = %g, want 0", res.BacklogAware.LeftoverPackets)
+	}
+	if res.BacklogAware.CompletedFlows != 3 {
+		t.Fatalf("backlog-aware completed = %d, want 3", res.BacklogAware.CompletedFlows)
+	}
+	// SRPT slot 1 (paper numbering) serves f2; backlog-aware serves f1.
+	if got := res.SRPT.Schedule[0].Flows; len(got) != 1 || got[0] != "f2" {
+		t.Fatalf("SRPT slot 1 = %v, want [f2]", got)
+	}
+	if got := res.BacklogAware.Schedule[0].Flows; len(got) != 1 || got[0] != "f1" {
+		t.Fatalf("backlog-aware slot 1 = %v, want [f1]", got)
+	}
+	out := res.Render()
+	for _, want := range []string{"srpt", "fast-basrpt", "slot 1", "paper:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig2SmallScale(t *testing.T) {
+	res, err := RunFig2(ScaleSmall, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold != 5e6 {
+		t.Fatalf("default threshold = %g", res.Threshold)
+	}
+	if res.SRPT.CompletedFlows == 0 || res.Backlog.CompletedFlows == 0 {
+		t.Fatal("no completions")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "verdict") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestRunSaturationSmallScale(t *testing.T) {
+	res, err := RunSaturation(ScaleSmall, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.V != DefaultV {
+		t.Fatalf("default V = %g", res.V)
+	}
+	// The headline effect at any scale: fast BASRPT leaves no more backlog
+	// and moves at least as many bytes.
+	if res.Fast.LeftoverBytes > res.SRPT.LeftoverBytes {
+		t.Fatalf("fast leftover %g > srpt %g", res.Fast.LeftoverBytes, res.SRPT.LeftoverBytes)
+	}
+	if res.Fast.DepartedBytes < res.SRPT.DepartedBytes {
+		t.Fatalf("fast departed %g < srpt %g", res.Fast.DepartedBytes, res.SRPT.DepartedBytes)
+	}
+	t1 := res.RenderTable1()
+	if !strings.Contains(t1, "TABLE I") || !strings.Contains(t1, "fast-basrpt") {
+		t.Fatalf("table1 render = %q", t1)
+	}
+	f5 := res.RenderFig5()
+	if !strings.Contains(f5, "Figure 5") || !strings.Contains(f5, "throughput") {
+		t.Fatalf("fig5 render = %q", f5)
+	}
+}
+
+func TestRunFig6SmallSweep(t *testing.T) {
+	res, err := RunFig6(ScaleSmall, 0, []float64{0.2, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SRPTQueryAvgMs <= 0 || row.FastQueryAvgMs <= 0 {
+			t.Fatalf("missing FCT data: %+v", row)
+		}
+		if row.SRPTGbps <= 0 || row.FastGbps <= 0 {
+			t.Fatalf("missing throughput: %+v", row)
+		}
+	}
+	// Throughput grows with load.
+	if res.Rows[1].SRPTGbps <= res.Rows[0].SRPTGbps {
+		t.Fatalf("throughput did not grow with load: %+v", res.Rows)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "20%") {
+		t.Fatalf("render = %q", out)
+	}
+	if _, err := RunFig6(ScaleSmall, 0, []float64{1.5}); err == nil {
+		t.Fatal("overload accepted")
+	}
+}
+
+func TestRunVSweepSmall(t *testing.T) {
+	res, err := RunVSweep(ScaleSmall, []float64{100, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Gbps <= 0 {
+			t.Fatalf("row %d missing throughput", i)
+		}
+		if res.Result(i) == nil {
+			t.Fatalf("row %d missing raw result", i)
+		}
+	}
+	f7 := res.RenderFig7()
+	f8 := res.RenderFig8()
+	if !strings.Contains(f7, "Figure 7") || !strings.Contains(f8, "Figure 8") {
+		t.Fatalf("renders = %q / %q", f7, f8)
+	}
+	if _, err := RunVSweep(ScaleSmall, []float64{-1}); err == nil {
+		t.Fatal("negative V accepted")
+	}
+}
+
+func TestRunTheorem1(t *testing.T) {
+	res, err := RunTheorem1(3, 0.8, 20000, []float64{2, 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon <= 0 {
+		t.Fatalf("epsilon = %g", res.Epsilon)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.BacklogBound <= 0 || row.MeanBacklog < 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+		if row.MeanBacklog > row.BacklogBound {
+			t.Fatalf("V=%g: measured backlog %.1f exceeds theorem bound %.1f",
+				row.V, row.MeanBacklog, row.BacklogBound)
+		}
+	}
+	// Larger V must not raise the penalty (delay) — it tightens the gap.
+	if res.Rows[1].MeanPenalty > res.Rows[0].MeanPenalty+0.1 {
+		t.Fatalf("penalty rose with V: %+v", res.Rows)
+	}
+	// Gap bound shrinks as 1/V.
+	if res.Rows[1].DelayGapBound >= res.Rows[0].DelayGapBound {
+		t.Fatal("delay gap bound did not shrink with V")
+	}
+	if !strings.Contains(res.Render(), "Theorem 1") {
+		t.Fatal("render missing title")
+	}
+	if _, err := RunTheorem1(3, 0.8, 0, nil, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := RunTheorem1(3, 0.8, 10, []float64{0}, 1); err == nil {
+		t.Fatal("zero V accepted")
+	}
+}
+
+func TestRunDTMC(t *testing.T) {
+	res, err := RunDTMC(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BacklogV != 3 {
+		t.Fatalf("default V = %g", res.BacklogV)
+	}
+	if res.Backlog.CapMass >= res.Shortest.CapMass {
+		t.Fatalf("backlog-aware cap mass %g >= shortest %g",
+			res.Backlog.CapMass, res.Shortest.CapMass)
+	}
+	if !strings.Contains(res.Render(), "DTMC") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunExactVsFast(t *testing.T) {
+	res, err := RunExactVsFast(4, 50, DefaultV, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanGap < 0 || res.MaxGap < res.MeanGap {
+		t.Fatalf("gap stats inconsistent: %+v", res)
+	}
+	if res.IdenticalFraction <= 0 {
+		t.Fatal("greedy never matched exact on small instances — suspicious")
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Fatal("render missing title")
+	}
+	if _, err := RunExactVsFast(100, 5, 1, 1); err == nil {
+		t.Fatal("oversized fabric accepted")
+	}
+	if _, err := RunExactVsFast(4, 0, 1, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

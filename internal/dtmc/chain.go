@@ -1,0 +1,237 @@
+package dtmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadModel reports an invalid chain specification.
+var ErrBadModel = errors.New("dtmc: invalid model")
+
+// Chain is the truncated DTMC of a small input-queued switch under a fixed
+// policy: states are per-VOQ backlog vectors with entries in [0, Cap].
+type Chain struct {
+	n          int
+	cap        int
+	arriveSize int
+	prob       []float64 // per-VOQ arrival probability, row-major
+	policy     Policy
+
+	numQueues int
+	numStates int
+	radix     int     // cap + 1
+	decisions [][]int // cached policy decision per state
+}
+
+// NewChain validates and builds the chain. n is the port count (the state
+// space is (cap+1)^(n²), so keep n at 2 and cap modest), prob is the n×n
+// per-slot Bernoulli arrival probability matrix, arriveSize the packets per
+// arrival.
+func NewChain(n, capacity int, prob [][]float64, arriveSize int, policy Policy) (*Chain, error) {
+	if n < 2 || n > 3 {
+		return nil, fmt.Errorf("%w: n = %d (supported: 2..3)", ErrBadModel, n)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: cap = %d", ErrBadModel, capacity)
+	}
+	if arriveSize < 1 {
+		return nil, fmt.Errorf("%w: arrival size %d", ErrBadModel, arriveSize)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrBadModel)
+	}
+	if len(prob) != n {
+		return nil, fmt.Errorf("%w: probability matrix is %dx?, want %dx%d", ErrBadModel, len(prob), n, n)
+	}
+	flat := make([]float64, 0, n*n)
+	for i, row := range prob {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: probability row %d has %d entries", ErrBadModel, i, len(row))
+		}
+		for j, p := range row {
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("%w: probability [%d][%d] = %g", ErrBadModel, i, j, p)
+			}
+			flat = append(flat, p)
+		}
+	}
+	numQueues := n * n
+	radix := capacity + 1
+	numStates := 1
+	for q := 0; q < numQueues; q++ {
+		if numStates > 4_000_000/radix {
+			return nil, fmt.Errorf("%w: state space too large (cap %d, %d queues)", ErrBadModel, capacity, numQueues)
+		}
+		numStates *= radix
+	}
+	c := &Chain{
+		n:          n,
+		cap:        capacity,
+		arriveSize: arriveSize,
+		prob:       flat,
+		policy:     policy,
+		numQueues:  numQueues,
+		numStates:  numStates,
+		radix:      radix,
+	}
+	if err := c.cacheDecisions(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NumStates returns the truncated state count.
+func (c *Chain) NumStates() int { return c.numStates }
+
+// decode writes state index s as a backlog vector into x.
+func (c *Chain) decode(s int, x []int) {
+	for q := 0; q < c.numQueues; q++ {
+		x[q] = s % c.radix
+		s /= c.radix
+	}
+}
+
+// encode is the inverse of decode.
+func (c *Chain) encode(x []int) int {
+	s := 0
+	for q := c.numQueues - 1; q >= 0; q-- {
+		s = s*c.radix + x[q]
+	}
+	return s
+}
+
+// cacheDecisions precomputes and validates the policy decision per state.
+func (c *Chain) cacheDecisions() error {
+	c.decisions = make([][]int, c.numStates)
+	x := make([]int, c.numQueues)
+	for s := 0; s < c.numStates; s++ {
+		c.decode(s, x)
+		d := c.policy.Decide(x, c.n, c.arriveSize)
+		ingress := make([]bool, c.n)
+		egress := make([]bool, c.n)
+		for _, idx := range d {
+			if idx < 0 || idx >= c.numQueues {
+				return fmt.Errorf("dtmc: policy %s served invalid queue %d", c.policy.Name(), idx)
+			}
+			if x[idx] == 0 {
+				return fmt.Errorf("dtmc: policy %s served empty queue %d", c.policy.Name(), idx)
+			}
+			i, j := idx/c.n, idx%c.n
+			if ingress[i] || egress[j] {
+				return fmt.Errorf("dtmc: policy %s violated crossbar at state %v", c.policy.Name(), x)
+			}
+			ingress[i] = true
+			egress[j] = true
+		}
+		c.decisions[s] = d
+	}
+	return nil
+}
+
+// StationaryResult summarizes the solved stationary distribution.
+type StationaryResult struct {
+	// ExpectedBacklog is the stationary mean of the total backlog.
+	ExpectedBacklog float64
+	// CapMass is the stationary probability that at least one VOQ sits at
+	// the truncation cap — the instability indicator.
+	CapMass float64
+	// ServedRate is the stationary mean number of packets served per slot.
+	ServedRate float64
+	// Iterations is the number of power-iteration steps performed.
+	Iterations int
+	// Converged reports whether the L1 change fell below the tolerance.
+	Converged bool
+}
+
+// Stationary runs power iteration from the empty state until the L1 change
+// between successive distributions falls below tol or maxIter is reached.
+func (c *Chain) Stationary(maxIter int, tol float64) (*StationaryResult, error) {
+	if maxIter < 1 || tol <= 0 {
+		return nil, fmt.Errorf("%w: maxIter %d, tol %g", ErrBadModel, maxIter, tol)
+	}
+	cur := make([]float64, c.numStates)
+	next := make([]float64, c.numStates)
+	cur[0] = 1 // start empty
+
+	x := make([]int, c.numQueues)
+	served := make([]int, c.numQueues)
+	res := &StationaryResult{}
+
+	numCombos := 1 << c.numQueues
+	for iter := 1; iter <= maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for s := 0; s < c.numStates; s++ {
+			p := cur[s]
+			if p == 0 {
+				continue
+			}
+			c.decode(s, x)
+			copy(served, x)
+			for _, idx := range c.decisions[s] {
+				served[idx]--
+			}
+			// Enumerate the 2^(n²) arrival outcomes.
+			for combo := 0; combo < numCombos; combo++ {
+				w := p
+				for q := 0; q < c.numQueues; q++ {
+					if combo&(1<<q) != 0 {
+						w *= c.prob[q]
+					} else {
+						w *= 1 - c.prob[q]
+					}
+				}
+				if w == 0 {
+					continue
+				}
+				sNext := 0
+				for q := c.numQueues - 1; q >= 0; q-- {
+					v := served[q]
+					if combo&(1<<q) != 0 {
+						v += c.arriveSize
+					}
+					if v > c.cap {
+						v = c.cap
+					}
+					sNext = sNext*c.radix + v
+				}
+				next[sNext] += w
+			}
+		}
+		var delta float64
+		for i := range next {
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		res.Iterations = iter
+		if delta < tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Read off the stationary statistics.
+	for s := 0; s < c.numStates; s++ {
+		p := cur[s]
+		if p == 0 {
+			continue
+		}
+		c.decode(s, x)
+		total := 0
+		atCap := false
+		for _, v := range x {
+			total += v
+			if v == c.cap {
+				atCap = true
+			}
+		}
+		res.ExpectedBacklog += p * float64(total)
+		if atCap {
+			res.CapMass += p
+		}
+		res.ServedRate += p * float64(len(c.decisions[s]))
+	}
+	return res, nil
+}

@@ -1,0 +1,148 @@
+// Package eventq implements the discrete-event calendar used by the
+// flow-level fabric simulator: a binary min-heap of timestamped events with
+// deterministic FIFO tie-breaking and O(log n) cancellation via handle
+// indices.
+//
+// Determinism matters here: two events at the same timestamp must always pop
+// in the order they were scheduled, or simulation runs stop being
+// reproducible across refactors of unrelated code.
+package eventq
+
+// Event is anything that can be scheduled. The queue never calls into the
+// event; it only orders and returns it.
+type Event interface{}
+
+// Handle identifies a scheduled event so it can be cancelled. A Handle is
+// valid until the event pops or is cancelled.
+type Handle struct {
+	entry *entry
+}
+
+// Valid reports whether the handle still refers to a pending event.
+func (h Handle) Valid() bool { return h.entry != nil && h.entry.index >= 0 }
+
+type entry struct {
+	time  float64
+	seq   uint64
+	event Event
+	index int // position in heap, -1 once removed
+}
+
+// Queue is a time-ordered event calendar. The zero value is ready to use.
+// It is not safe for concurrent use; the simulator is single-threaded by
+// design (parallelism comes from running independent simulations).
+type Queue struct {
+	heap []*entry
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule adds an event at the given time and returns a handle for
+// cancellation. Times may be in any order; equal times pop FIFO.
+func (q *Queue) Schedule(time float64, ev Event) Handle {
+	q.seq++
+	e := &entry{time: time, seq: q.seq, event: ev, index: len(q.heap)}
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return Handle{entry: e}
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already popped or was cancelled).
+func (q *Queue) Cancel(h Handle) bool {
+	e := h.entry
+	if e == nil || e.index < 0 {
+		return false
+	}
+	q.removeAt(e.index)
+	return true
+}
+
+// PeekTime returns the timestamp of the earliest event. The second return
+// is false when the queue is empty.
+func (q *Queue) PeekTime() (float64, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].time, true
+}
+
+// Pop removes and returns the earliest event and its time. The second
+// return is false when the queue is empty.
+func (q *Queue) Pop() (Event, float64, bool) {
+	if len(q.heap) == 0 {
+		return nil, 0, false
+	}
+	e := q.heap[0]
+	q.removeAt(0)
+	return e.event, e.time, true
+}
+
+// Clear drops all pending events.
+func (q *Queue) Clear() {
+	for _, e := range q.heap {
+		e.index = -1
+	}
+	q.heap = q.heap[:0]
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (q *Queue) removeAt(i int) {
+	e := q.heap[i]
+	last := len(q.heap) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.heap = q.heap[:last]
+	e.index = -1
+	if i < last {
+		// The element moved into position i may need to travel either way.
+		q.down(i)
+		q.up(i)
+	}
+}

@@ -1,0 +1,194 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"basrpt/internal/stats"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	q.Schedule(3, "c")
+	q.Schedule(1, "a")
+	q.Schedule(2, "b")
+	want := []string{"a", "b", "c"}
+	times := []float64{1, 2, 3}
+	for i, w := range want {
+		ev, tm, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d: queue empty", i)
+		}
+		if ev.(string) != w || tm != times[i] {
+			t.Fatalf("Pop %d = (%v, %g), want (%q, %g)", i, ev, tm, w, times[i])
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	for i := 0; i < 100; i++ {
+		q.Schedule(5, i)
+	}
+	for i := 0; i < 100; i++ {
+		ev, _, ok := q.Pop()
+		if !ok || ev.(int) != i {
+			t.Fatalf("tie-break violated: pop %d got %v", i, ev)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	h1 := q.Schedule(1, "a")
+	q.Schedule(2, "b")
+	h3 := q.Schedule(3, "c")
+	if !q.Cancel(h1) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if q.Cancel(h1) {
+		t.Fatal("double Cancel returned true")
+	}
+	ev, _, _ := q.Pop()
+	if ev.(string) != "b" {
+		t.Fatalf("after cancel, first pop = %v, want b", ev)
+	}
+	if !h3.Valid() {
+		t.Fatal("h3 should still be valid")
+	}
+	q.Pop()
+	if h3.Valid() {
+		t.Fatal("h3 should be invalid after popping")
+	}
+	if q.Cancel(h3) {
+		t.Fatal("Cancel after pop returned true")
+	}
+}
+
+func TestCancelMiddleKeepsOrder(t *testing.T) {
+	var q Queue
+	handles := make([]Handle, 50)
+	for i := 0; i < 50; i++ {
+		handles[i] = q.Schedule(float64(i), i)
+	}
+	// Cancel every third event.
+	cancelled := map[int]bool{}
+	for i := 0; i < 50; i += 3 {
+		q.Cancel(handles[i])
+		cancelled[i] = true
+	}
+	prev := -1.0
+	count := 0
+	for {
+		ev, tm, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if cancelled[ev.(int)] {
+			t.Fatalf("cancelled event %v popped", ev)
+		}
+		if tm < prev {
+			t.Fatalf("out-of-order pop: %g after %g", tm, prev)
+		}
+		prev = tm
+		count++
+	}
+	if count != 50-len(cancelled) {
+		t.Fatalf("popped %d events, want %d", count, 50-len(cancelled))
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue reported ok")
+	}
+	q.Schedule(7, nil)
+	q.Schedule(4, nil)
+	if tm, ok := q.PeekTime(); !ok || tm != 4 {
+		t.Fatalf("PeekTime = (%g, %v), want (4, true)", tm, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("PeekTime consumed an event, Len = %d", q.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, nil)
+	q.Schedule(2, nil)
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", q.Len())
+	}
+	if h.Valid() {
+		t.Fatal("handle valid after Clear")
+	}
+	if q.Cancel(h) {
+		t.Fatal("Cancel succeeded after Clear")
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	f := func(seed uint64, opsRaw []uint16) bool {
+		r := stats.NewRNG(seed)
+		var q Queue
+		var pending []Handle
+		for range opsRaw {
+			switch r.Intn(3) {
+			case 0, 1:
+				pending = append(pending, q.Schedule(r.Float64()*1000, nil))
+			case 2:
+				if len(pending) > 0 {
+					i := r.Intn(len(pending))
+					q.Cancel(pending[i])
+					pending = append(pending[:i], pending[i+1:]...)
+				}
+			}
+		}
+		// Drain: times must come out sorted.
+		var popped []float64
+		for {
+			_, tm, ok := q.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, tm)
+		}
+		return sort.Float64sAreSorted(popped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidHandleZeroValue(t *testing.T) {
+	var q Queue
+	var h Handle
+	if h.Valid() {
+		t.Fatal("zero handle should be invalid")
+	}
+	if q.Cancel(h) {
+		t.Fatal("Cancel of zero handle returned true")
+	}
+}
+
+func BenchmarkScheduleAndPop(b *testing.B) {
+	r := stats.NewRNG(1)
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = r.Float64()
+	}
+	b.ResetTimer()
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Schedule(times[i%1024], nil)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

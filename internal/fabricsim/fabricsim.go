@@ -1,0 +1,398 @@
+// Package fabricsim is the flow-level data-center fabric simulator that the
+// paper's evaluation runs on (Section V) — the authors' Java simulator
+// rebuilt in Go. The fabric is the big-switch abstraction justified in
+// Section III-A: every host is a port with a full-duplex access link, the
+// core is non-blocking (validated by internal/topology), and a centralized
+// scheduler picks a crossbar matching of flows.
+//
+// The engine is event-driven and continuous-time: between events every
+// selected flow transmits at the access-link rate, and — exactly as the
+// paper specifies — "the scheduling decision is updated when a flow comes
+// or a transfer completes". Events are flow arrivals, flow completions,
+// and metric sampling ticks.
+package fabricsim
+
+import (
+	"fmt"
+	"math"
+
+	"basrpt/internal/flow"
+	"basrpt/internal/metrics"
+	"basrpt/internal/sched"
+	"basrpt/internal/workload"
+)
+
+// completionEps is the residual (bytes) below which a flow counts as done;
+// it absorbs float drift over long runs.
+const completionEps = 1e-6
+
+// Config parameterizes a fabric run.
+type Config struct {
+	// Hosts is the number of fabric ports (servers).
+	Hosts int
+	// LinkBps is the access-link rate in bits per second (the paper uses
+	// 10 Gbps).
+	LinkBps float64
+	// Scheduler picks the transmitting flows after every arrival and
+	// completion.
+	Scheduler sched.Scheduler
+	// Generator supplies the flow arrivals.
+	Generator workload.Generator
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// SampleInterval is the spacing of queue-length samples in seconds
+	// (default: Duration/500).
+	SampleInterval float64
+	// MonitorPort is the ingress port whose backlog becomes QueueSeries —
+	// the "queue length at a port" of Figures 2 and 5(b). Default 0.
+	MonitorPort int
+	// ThroughputBucket is the width (seconds) of the throughput series
+	// buckets for Figure 5(a). Default: Duration/50.
+	ThroughputBucket float64
+	// ValidateDecisions re-checks the crossbar constraint on every
+	// scheduling decision (tests set this; experiment sweeps leave it off).
+	ValidateDecisions bool
+	// DeepValidateEvery, when positive, recomputes the entire VOQ-table
+	// bookkeeping from first principles every k scheduling decisions and
+	// fails the run on any divergence — a self-check against incremental-
+	// accounting bugs (float drift, heap corruption). Expensive; used by
+	// tests and long validation runs.
+	DeepValidateEvery int64
+}
+
+// Result carries everything the paper's figures and tables read off a run.
+type Result struct {
+	// FCT holds per-class completion times in seconds.
+	FCT *metrics.FCT
+	// Throughput accounts bytes leaving the fabric over time.
+	Throughput *metrics.Throughput
+	// QueueSeries samples the monitored ingress port's backlog (bytes).
+	QueueSeries metrics.Series
+	// TotalBacklogSeries samples the whole fabric's backlog (bytes).
+	TotalBacklogSeries metrics.Series
+	// MaxPortSeries samples the worst ingress-port backlog (bytes).
+	MaxPortSeries metrics.Series
+
+	ArrivedFlows   int
+	CompletedFlows int
+	ArrivedBytes   float64
+	DepartedBytes  float64
+	LeftoverBytes  float64
+	LeftoverFlows  int
+	Decisions      int64
+	Duration       float64
+	SchedulerName  string
+}
+
+// AverageGbps returns the run's mean departure rate in Gbps — the paper's
+// global throughput metric.
+func (r *Result) AverageGbps() float64 {
+	return r.Throughput.AverageGbps(r.Duration)
+}
+
+// Sim is a single fabric simulation. Build with New, execute with Run.
+type Sim struct {
+	cfg    Config
+	table  *flow.Table
+	now    float64
+	nextID flow.ID
+
+	decision []*flow.Flow
+	byteRate float64 // bytes/s per selected flow
+
+	pendingArrival  workload.Arrival
+	hasPending      bool
+	nextSample      float64
+	res             *Result
+	drainAccumStart float64
+}
+
+// New validates the configuration and prepares a run.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("fabricsim: invalid host count %d", cfg.Hosts)
+	}
+	if cfg.LinkBps <= 0 {
+		return nil, fmt.Errorf("fabricsim: invalid link rate %g", cfg.LinkBps)
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("fabricsim: nil scheduler")
+	}
+	if cfg.Generator == nil {
+		return nil, fmt.Errorf("fabricsim: nil generator")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("fabricsim: invalid duration %g", cfg.Duration)
+	}
+	if cfg.MonitorPort < 0 || cfg.MonitorPort >= cfg.Hosts {
+		return nil, fmt.Errorf("fabricsim: monitor port %d out of range", cfg.MonitorPort)
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = cfg.Duration / 500
+	}
+	if cfg.ThroughputBucket <= 0 {
+		cfg.ThroughputBucket = cfg.Duration / 50
+	}
+	return &Sim{
+		cfg:      cfg,
+		table:    flow.NewTable(cfg.Hosts),
+		nextID:   1,
+		byteRate: cfg.LinkBps / 8,
+		res: &Result{
+			FCT:           metrics.NewFCT(),
+			Throughput:    metrics.NewThroughput(cfg.ThroughputBucket),
+			Duration:      cfg.Duration,
+			SchedulerName: cfg.Scheduler.Name(),
+		},
+	}, nil
+}
+
+// Run executes the simulation to the horizon and returns the metrics.
+func (s *Sim) Run() (*Result, error) {
+	s.fetchArrival()
+	for {
+		// Next event time: earliest of arrival, completion, sample, end.
+		t := s.cfg.Duration
+		if s.hasPending && s.pendingArrival.Time < t {
+			t = s.pendingArrival.Time
+		}
+		if s.nextSample < t {
+			t = s.nextSample
+		}
+		if ct, ok := s.nextCompletionTime(); ok && ct < t {
+			t = ct
+		}
+
+		s.advanceTo(t)
+
+		done := t >= s.cfg.Duration
+		reschedule := false
+
+		// Completions strictly before arrivals at the same instant: the
+		// departing flow frees its ports for the newcomer's decision.
+		if s.collectCompletions() {
+			reschedule = true
+		}
+		for s.hasPending && s.pendingArrival.Time <= s.now+1e-12 && !done {
+			if s.pendingArrival.Time < s.now-1e-9 {
+				// The event loop always advances to the earliest pending
+				// arrival, so an arrival in the past means the generator
+				// violated its time-ordering contract.
+				return nil, fmt.Errorf("fabricsim: generator produced out-of-order arrival at t=%g (now %g)",
+					s.pendingArrival.Time, s.now)
+			}
+			s.admit(s.pendingArrival)
+			s.fetchArrival()
+			reschedule = true
+		}
+		if s.now >= s.nextSample {
+			s.sample()
+			s.nextSample += s.cfg.SampleInterval
+		}
+		if done {
+			break
+		}
+		if reschedule {
+			if err := s.reschedule(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.res.LeftoverBytes = s.table.TotalBacklog()
+	s.res.LeftoverFlows = s.table.NumFlows()
+	return s.res, nil
+}
+
+// fetchArrival pulls the next arrival from the generator.
+func (s *Sim) fetchArrival() {
+	a, ok := s.cfg.Generator.Next()
+	s.pendingArrival, s.hasPending = a, ok
+}
+
+// admit adds an arrived flow to the fabric.
+func (s *Sim) admit(a workload.Arrival) {
+	if a.Src < 0 || a.Src >= s.cfg.Hosts || a.Dst < 0 || a.Dst >= s.cfg.Hosts || a.Src == a.Dst || a.Size <= 0 {
+		// Generators are validated, so a bad arrival is a programming
+		// error worth failing loudly on.
+		panic(fmt.Sprintf("fabricsim: invalid arrival %+v", a))
+	}
+	f := flow.NewFlow(s.nextID, a.Src, a.Dst, a.Class, a.Size, a.Time)
+	s.nextID++
+	s.table.Add(f)
+	s.res.ArrivedFlows++
+	s.res.ArrivedBytes += a.Size
+}
+
+// nextCompletionTime returns when the earliest currently transmitting flow
+// finishes, assuming the decision stays fixed.
+func (s *Sim) nextCompletionTime() (float64, bool) {
+	if len(s.decision) == 0 {
+		return 0, false
+	}
+	minRemaining := math.Inf(1)
+	for _, f := range s.decision {
+		if f.Remaining < minRemaining {
+			minRemaining = f.Remaining
+		}
+	}
+	return s.now + minRemaining/s.byteRate, true
+}
+
+// advanceTo drains the transmitting flows up to time t.
+func (s *Sim) advanceTo(t float64) {
+	if t < s.now {
+		t = s.now
+	}
+	dt := t - s.now
+	if dt > 0 && len(s.decision) > 0 {
+		amount := dt * s.byteRate
+		var drained float64
+		for _, f := range s.decision {
+			drained += s.table.Drain(f, amount)
+		}
+		if drained > 0 {
+			s.res.Throughput.AddRange(s.now, t, drained)
+			s.res.DepartedBytes += drained
+		}
+	}
+	s.now = t
+}
+
+// completionThreshold returns the residual below which a flow counts as
+// finished. The absolute floor handles normal completions; the adaptive
+// term covers sub-byte residues whose drain time rounds to zero at large
+// timestamps (float64 has ~1e-16 relative resolution, so any remainder
+// that would take less than ~100 ULPs of `now` to drain is already
+// indistinguishable from done and would otherwise stall the event loop).
+func (s *Sim) completionThreshold() float64 {
+	adaptive := s.byteRate * s.now * 1e-14
+	if adaptive > completionEps {
+		return adaptive
+	}
+	return completionEps
+}
+
+// collectCompletions removes flows that finished by now and records FCTs.
+func (s *Sim) collectCompletions() bool {
+	if len(s.decision) == 0 {
+		return false
+	}
+	threshold := s.completionThreshold()
+	kept := s.decision[:0]
+	completed := false
+	for _, f := range s.decision {
+		if f.Remaining <= threshold {
+			// Flush the sub-threshold residue so byte conservation
+			// (arrived = departed + backlog) holds exactly.
+			if residue := s.table.Drain(f, f.Remaining); residue > 0 {
+				s.res.Throughput.AddBytes(s.now, residue)
+				s.res.DepartedBytes += residue
+			}
+			s.table.Remove(f)
+			s.res.CompletedFlows++
+			s.res.FCT.Add(f.Class, s.now-f.Arrival)
+			completed = true
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	s.decision = kept
+	return completed
+}
+
+// reschedule recomputes the scheduling decision.
+func (s *Sim) reschedule() error {
+	s.decision = s.cfg.Scheduler.Schedule(s.table)
+	s.res.Decisions++
+	if s.cfg.ValidateDecisions {
+		if err := sched.ValidateDecision(s.cfg.Hosts, s.decision); err != nil {
+			return fmt.Errorf("fabricsim at t=%g: %w", s.now, err)
+		}
+	}
+	if k := s.cfg.DeepValidateEvery; k > 0 && s.res.Decisions%k == 0 {
+		if err := s.deepValidate(); err != nil {
+			return fmt.Errorf("fabricsim at t=%g: %w", s.now, err)
+		}
+	}
+	return nil
+}
+
+// deepValidate recomputes every backlog aggregate from the live flows and
+// compares against the table's incremental accounting.
+func (s *Sim) deepValidate() error {
+	n := s.cfg.Hosts
+	ingress := make([]float64, n)
+	egress := make([]float64, n)
+	var total float64
+	flows := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			q := s.table.VOQ(i, j)
+			var qSum float64
+			var prev *flow.Flow
+			for _, f := range q.Flows() {
+				if !f.Attached() {
+					return fmt.Errorf("deep validate: detached flow %d inside VOQ (%d,%d)", f.ID, i, j)
+				}
+				if f.Src != i || f.Dst != j {
+					return fmt.Errorf("deep validate: flow %d (%d->%d) in VOQ (%d,%d)", f.ID, f.Src, f.Dst, i, j)
+				}
+				if f.Remaining < 0 {
+					return fmt.Errorf("deep validate: flow %d has negative remaining %g", f.ID, f.Remaining)
+				}
+				qSum += f.Remaining
+				flows++
+				_ = prev
+			}
+			if top := q.Top(); top != nil {
+				for _, f := range q.Flows() {
+					if f.Remaining < top.Remaining {
+						return fmt.Errorf("deep validate: VOQ (%d,%d) top %g not minimal (flow %d has %g)",
+							i, j, top.Remaining, f.ID, f.Remaining)
+					}
+				}
+			}
+			if !closeEnough(qSum, q.Backlog()) {
+				return fmt.Errorf("deep validate: VOQ (%d,%d) backlog %g, recomputed %g", i, j, q.Backlog(), qSum)
+			}
+			ingress[i] += qSum
+			egress[j] += qSum
+			total += qSum
+		}
+	}
+	for p := 0; p < n; p++ {
+		if !closeEnough(ingress[p], s.table.IngressBacklog(p)) {
+			return fmt.Errorf("deep validate: ingress %d backlog %g, recomputed %g", p, s.table.IngressBacklog(p), ingress[p])
+		}
+		if !closeEnough(egress[p], s.table.EgressBacklog(p)) {
+			return fmt.Errorf("deep validate: egress %d backlog %g, recomputed %g", p, s.table.EgressBacklog(p), egress[p])
+		}
+	}
+	if !closeEnough(total, s.table.TotalBacklog()) {
+		return fmt.Errorf("deep validate: total backlog %g, recomputed %g", s.table.TotalBacklog(), total)
+	}
+	if flows != s.table.NumFlows() {
+		return fmt.Errorf("deep validate: %d flows counted, table reports %d", flows, s.table.NumFlows())
+	}
+	if !closeEnough(s.res.ArrivedBytes, s.res.DepartedBytes+total) {
+		return fmt.Errorf("deep validate: conservation broken (arrived %g, departed %g, backlog %g)",
+			s.res.ArrivedBytes, s.res.DepartedBytes, total)
+	}
+	return nil
+}
+
+// closeEnough compares accumulated float quantities with a relative
+// tolerance sized for long runs of incremental adds/subtracts.
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-6*scale
+}
+
+// sample records the queue-length series.
+func (s *Sim) sample() {
+	s.res.QueueSeries.Add(s.now, s.table.IngressBacklog(s.cfg.MonitorPort))
+	s.res.TotalBacklogSeries.Add(s.now, s.table.TotalBacklog())
+	_, maxB := s.table.MaxIngressBacklog()
+	s.res.MaxPortSeries.Add(s.now, maxB)
+}

@@ -1,0 +1,199 @@
+package flow
+
+import "fmt"
+
+// Table is the full N×N VOQ state of the big switch. It tracks which VOQs
+// are non-empty (for fast scheduler iteration), per-ingress-port backlogs
+// (what the paper plots as "queue length at a port"), and total counts.
+type Table struct {
+	n    int
+	voqs []VOQ
+
+	nonEmpty    []int // VOQ indices with at least one flow
+	nonEmptyPos []int // voq index -> position in nonEmpty, -1 if absent
+
+	ingressBacklog []float64
+	egressBacklog  []float64
+	ingressFlows   []int // live flow count per ingress port
+	egressFlows    []int // live flow count per egress port
+	numFlows       int
+}
+
+// NewTable creates a table for an n-port switch. It panics on n <= 0,
+// which is a configuration error.
+func NewTable(n int) *Table {
+	if n <= 0 {
+		panic(fmt.Sprintf("flow: invalid port count %d", n))
+	}
+	t := &Table{
+		n:              n,
+		voqs:           make([]VOQ, n*n),
+		nonEmptyPos:    make([]int, n*n),
+		ingressBacklog: make([]float64, n),
+		egressBacklog:  make([]float64, n),
+		ingressFlows:   make([]int, n),
+		egressFlows:    make([]int, n),
+	}
+	for i := range t.voqs {
+		t.voqs[i].Src = i / n
+		t.voqs[i].Dst = i % n
+		t.nonEmptyPos[i] = -1
+	}
+	return t
+}
+
+// N returns the number of ports.
+func (t *Table) N() int { return t.n }
+
+// NumFlows returns the number of active flows across all VOQs.
+func (t *Table) NumFlows() int { return t.numFlows }
+
+func (t *Table) idx(src, dst int) int { return src*t.n + dst }
+
+func (t *Table) checkPort(src, dst int) {
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n {
+		panic(fmt.Sprintf("flow: port pair (%d,%d) out of range for n=%d", src, dst, t.n))
+	}
+}
+
+// VOQ returns the queue for (src, dst). The returned pointer stays valid
+// for the table's lifetime.
+func (t *Table) VOQ(src, dst int) *VOQ {
+	t.checkPort(src, dst)
+	return &t.voqs[t.idx(src, dst)]
+}
+
+// Add inserts a flow into its VOQ. It panics if the flow is already
+// attached (a simulator bug, not a runtime condition).
+func (t *Table) Add(f *Flow) {
+	t.checkPort(f.Src, f.Dst)
+	if f.Attached() {
+		panic(fmt.Sprintf("flow: flow %d added twice", f.ID))
+	}
+	i := t.idx(f.Src, f.Dst)
+	q := &t.voqs[i]
+	wasEmpty := q.Len() == 0
+	q.push(f)
+	if wasEmpty {
+		t.nonEmptyPos[i] = len(t.nonEmpty)
+		t.nonEmpty = append(t.nonEmpty, i)
+	}
+	t.ingressBacklog[f.Src] += f.Remaining
+	t.egressBacklog[f.Dst] += f.Remaining
+	t.ingressFlows[f.Src]++
+	t.egressFlows[f.Dst]++
+	t.numFlows++
+}
+
+// Remove detaches a flow from its VOQ (on completion). It panics if the
+// flow is not attached.
+func (t *Table) Remove(f *Flow) {
+	if !f.Attached() {
+		panic(fmt.Sprintf("flow: flow %d removed while detached", f.ID))
+	}
+	i := t.idx(f.Src, f.Dst)
+	q := &t.voqs[i]
+	q.remove(f)
+	if q.Len() == 0 {
+		t.dropNonEmpty(i)
+	}
+	t.ingressBacklog[f.Src] -= f.Remaining
+	t.egressBacklog[f.Dst] -= f.Remaining
+	t.ingressFlows[f.Src]--
+	t.egressFlows[f.Dst]--
+	t.clampPort(f.Src, f.Dst)
+	t.numFlows--
+}
+
+// Drain reduces f.Remaining by amount (clamped at zero) and updates all
+// backlog accounting. It returns the amount actually drained.
+func (t *Table) Drain(f *Flow, amount float64) float64 {
+	if !f.Attached() {
+		panic(fmt.Sprintf("flow: drain on detached flow %d", f.ID))
+	}
+	if amount <= 0 {
+		return 0
+	}
+	if amount > f.Remaining {
+		amount = f.Remaining
+	}
+	f.Remaining -= amount
+	q := &t.voqs[t.idx(f.Src, f.Dst)]
+	q.adjust(f, -amount)
+	t.ingressBacklog[f.Src] -= amount
+	t.egressBacklog[f.Dst] -= amount
+	t.clampPort(f.Src, f.Dst)
+	return amount
+}
+
+// clampPort repairs float drift in the port accumulators: negatives snap
+// to zero, and a port with no live flows is exactly empty (repeated
+// incremental adds and subtracts otherwise leave sub-byte residues that
+// accumulate over hundreds of millions of events).
+func (t *Table) clampPort(src, dst int) {
+	if t.ingressBacklog[src] < 0 || t.ingressFlows[src] == 0 {
+		t.ingressBacklog[src] = 0
+	}
+	if t.egressBacklog[dst] < 0 || t.egressFlows[dst] == 0 {
+		t.egressBacklog[dst] = 0
+	}
+}
+
+func (t *Table) dropNonEmpty(i int) {
+	pos := t.nonEmptyPos[i]
+	last := len(t.nonEmpty) - 1
+	moved := t.nonEmpty[last]
+	t.nonEmpty[pos] = moved
+	t.nonEmptyPos[moved] = pos
+	t.nonEmpty = t.nonEmpty[:last]
+	t.nonEmptyPos[i] = -1
+}
+
+// NonEmpty appends pointers to every non-empty VOQ to dst and returns it.
+// The order is unspecified but deterministic for a given event history.
+func (t *Table) NonEmpty(dst []*VOQ) []*VOQ {
+	for _, i := range t.nonEmpty {
+		dst = append(dst, &t.voqs[i])
+	}
+	return dst
+}
+
+// ForEachNonEmpty calls fn for every non-empty VOQ without allocating.
+// fn must not add or remove flows. This is the scheduler hot path: it runs
+// on every arrival and completion.
+func (t *Table) ForEachNonEmpty(fn func(q *VOQ)) {
+	for _, i := range t.nonEmpty {
+		fn(&t.voqs[i])
+	}
+}
+
+// NumNonEmpty returns how many VOQs currently hold flows.
+func (t *Table) NumNonEmpty() int { return len(t.nonEmpty) }
+
+// IngressBacklog returns the total remaining size queued at ingress port i —
+// the per-server queue length plotted in the paper's Figures 2 and 5(b).
+func (t *Table) IngressBacklog(i int) float64 { return t.ingressBacklog[i] }
+
+// EgressBacklog returns the total remaining size destined for egress port j.
+func (t *Table) EgressBacklog(j int) float64 { return t.egressBacklog[j] }
+
+// TotalBacklog returns the backlog summed over all VOQs.
+func (t *Table) TotalBacklog() float64 {
+	var sum float64
+	for _, i := range t.nonEmpty {
+		sum += t.voqs[i].Backlog()
+	}
+	return sum
+}
+
+// MaxIngressBacklog returns the port index and value of the largest ingress
+// backlog; (-1, 0) when everything is empty.
+func (t *Table) MaxIngressBacklog() (port int, backlog float64) {
+	port = -1
+	for i, b := range t.ingressBacklog {
+		if b > backlog {
+			port, backlog = i, b
+		}
+	}
+	return port, backlog
+}

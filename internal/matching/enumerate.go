@@ -1,0 +1,99 @@
+package matching
+
+import "sort"
+
+// EnumerateMaximal invokes visit for every maximal matching of the
+// candidate edge set. The exact BASRPT scheduler (paper Section IV-A)
+// "iterates through all possible scheduling schemes", i.e. all maximal
+// matchings; this is that iteration. visit may return false to stop early.
+//
+// The edge set is deduplicated first; the visit order is deterministic.
+// The number of maximal matchings grows super-exponentially with n, so this
+// is only usable for small fabrics — which is exactly the paper's point
+// about BASRPT's impracticality, and why fast BASRPT exists.
+func EnumerateMaximal(n int, candidates []Edge, visit func(m []Edge) bool) {
+	// Deduplicate and order edges for a canonical enumeration.
+	seen := make(map[Edge]bool, len(candidates))
+	edges := make([]Edge, 0, len(candidates))
+	for _, e := range candidates {
+		if e.Left < 0 || e.Left >= n || e.Right < 0 || e.Right >= n {
+			continue
+		}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Left != edges[j].Left {
+			return edges[i].Left < edges[j].Left
+		}
+		return edges[i].Right < edges[j].Right
+	})
+	if len(edges) == 0 {
+		visit(nil)
+		return
+	}
+
+	leftUsed := make([]bool, n)
+	rightUsed := make([]bool, n)
+	current := make([]Edge, 0, n)
+	stopped := false
+
+	// Recursive branch on each edge index: either take it (if compatible)
+	// or skip it. A completed branch is reported only if the selection is
+	// maximal, i.e. every skipped edge conflicts with a taken one.
+	var rec func(idx int)
+	rec = func(idx int) {
+		if stopped {
+			return
+		}
+		if idx == len(edges) {
+			if isMaximalFast(edges, leftUsed, rightUsed) {
+				m := make([]Edge, len(current))
+				copy(m, current)
+				if !visit(m) {
+					stopped = true
+				}
+			}
+			return
+		}
+		e := edges[idx]
+		if !leftUsed[e.Left] && !rightUsed[e.Right] {
+			leftUsed[e.Left] = true
+			rightUsed[e.Right] = true
+			current = append(current, e)
+			rec(idx + 1)
+			current = current[:len(current)-1]
+			leftUsed[e.Left] = false
+			rightUsed[e.Right] = false
+		}
+		// Skip branch. Pruning: if e could still be added at the end the
+		// skip branch can only produce non-maximal sets unless some later
+		// or earlier choice blocks e. We cannot prune cheaply without
+		// losing completeness, so rely on the final maximality check.
+		rec(idx + 1)
+	}
+	rec(0)
+}
+
+func isMaximalFast(edges []Edge, leftUsed, rightUsed []bool) bool {
+	for _, e := range edges {
+		if !leftUsed[e.Left] && !rightUsed[e.Right] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountMaximal returns the number of maximal matchings of the candidate
+// set. Exposed for tests and for documenting the combinatorial blow-up that
+// motivates fast BASRPT.
+func CountMaximal(n int, candidates []Edge) int {
+	count := 0
+	EnumerateMaximal(n, candidates, func([]Edge) bool {
+		count++
+		return true
+	})
+	return count
+}

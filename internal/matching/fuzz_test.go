@@ -1,0 +1,64 @@
+package matching
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHungarianFeasible checks that Hungarian never reports a total
+// inconsistent with its own permutation, and that the result is a valid
+// permutation, on arbitrary small integer cost matrices.
+func FuzzHungarianFeasible(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, 2)
+	f.Add([]byte{9, 9, 9, 1, 0, 200, 7, 7, 7}, 3)
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n < 1 || n > 5 || len(raw) < n*n {
+			t.Skip()
+		}
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(raw[i*n+j]) - 128
+			}
+		}
+		perm, total, ok := Hungarian(cost)
+		if !ok {
+			t.Fatal("finite cost matrix reported infeasible")
+		}
+		seen := make([]bool, n)
+		var check float64
+		for i, j := range perm {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("invalid permutation %v", perm)
+			}
+			seen[j] = true
+			check += cost[i][j]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			t.Fatalf("total %g does not match permutation cost %g", total, check)
+		}
+	})
+}
+
+// FuzzGreedyMaximal checks the matching/maximality invariants on arbitrary
+// candidate edge lists.
+func FuzzGreedyMaximal(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 2, 2}, 3)
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n < 1 || n > 8 || len(raw)%2 != 0 {
+			t.Skip()
+		}
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{Left: int(raw[i]) % n, Right: int(raw[i+1]) % n})
+		}
+		sel := GreedyMaximal(n, edges)
+		if !IsMatching(n, sel) {
+			t.Fatalf("greedy produced a non-matching: %v", sel)
+		}
+		if !IsMaximal(n, edges, sel) {
+			t.Fatalf("greedy produced a non-maximal matching: %v over %v", sel, edges)
+		}
+	})
+}

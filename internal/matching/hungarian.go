@@ -1,0 +1,106 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the n×n minimum-cost assignment problem and returns the
+// permutation p (p[i] = column assigned to row i) together with the total
+// cost. Costs may be any finite float64; use math.Inf(1) to forbid a cell.
+// It panics on a non-square matrix and returns ok=false when no finite-cost
+// perfect assignment exists.
+//
+// The implementation is the O(n^3) shortest-augmenting-path formulation
+// (Jonker–Volgenant style potentials). It backs the exact BASRPT analysis:
+// for a fixed selected-flow count, minimizing V·ȳ − ΣX is an assignment
+// problem over per-VOQ candidates.
+func Hungarian(cost [][]float64) (perm []int, total float64, ok bool) {
+	n := len(cost)
+	for i, row := range cost {
+		if len(row) != n {
+			panic(fmt.Sprintf("matching: cost row %d has length %d, want %d", i, len(row), n))
+		}
+	}
+	if n == 0 {
+		return nil, 0, true
+	}
+
+	inf := math.Inf(1)
+	// Potentials for rows (u) and columns (v); way[j] remembers the column
+	// preceding j on the shortest augmenting path; matchR[j] is the row
+	// matched to column j. Index 0 is a sentinel, so everything is 1-based.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	matchR := make([]int, n+1)
+	way := make([]int, n+1)
+	for j := range matchR {
+		matchR[j] = 0
+	}
+
+	for i := 1; i <= n; i++ {
+		matchR[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := matchR[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 == -1 || math.IsInf(delta, 1) {
+				return nil, 0, false
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[matchR[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchR[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchR[j0] = matchR[j1]
+			j0 = j1
+		}
+	}
+
+	perm = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if matchR[j] == 0 {
+			return nil, 0, false
+		}
+		perm[matchR[j]-1] = j - 1
+	}
+	for i := 0; i < n; i++ {
+		c := cost[i][perm[i]]
+		if math.IsInf(c, 1) {
+			return nil, 0, false
+		}
+		total += c
+	}
+	return perm, total, true
+}

@@ -1,0 +1,185 @@
+// Package matching provides the bipartite-matching machinery behind the
+// schedulers and the Birkhoff decomposition: validity/maximality checks,
+// greedy maximal matching under a caller-supplied priority, maximum-
+// cardinality matching (Hopcroft–Karp), minimum-cost assignment (Hungarian
+// algorithm), and exhaustive enumeration of maximal matchings for the exact
+// BASRPT scheduler on small fabrics.
+//
+// Throughout, a matching over an n-port switch is a set of (ingress, egress)
+// pairs in which no ingress and no egress appears twice — exactly the
+// crossbar constraint of the paper's input-queued switch model.
+package matching
+
+import "fmt"
+
+// Edge is a candidate pairing of ingress Left with egress Right.
+type Edge struct {
+	Left, Right int
+}
+
+// IsMatching reports whether edges uses no left or right vertex twice.
+// n bounds the vertex ids; out-of-range ids make it return false.
+func IsMatching(n int, edges []Edge) bool {
+	leftUsed := make([]bool, n)
+	rightUsed := make([]bool, n)
+	for _, e := range edges {
+		if e.Left < 0 || e.Left >= n || e.Right < 0 || e.Right >= n {
+			return false
+		}
+		if leftUsed[e.Left] || rightUsed[e.Right] {
+			return false
+		}
+		leftUsed[e.Left] = true
+		rightUsed[e.Right] = true
+	}
+	return true
+}
+
+// IsMaximal reports whether selected is a maximal matching within the
+// candidate edge set: no candidate edge could be added without violating
+// the matching property. selected must itself be a matching.
+func IsMaximal(n int, candidates, selected []Edge) bool {
+	leftUsed := make([]bool, n)
+	rightUsed := make([]bool, n)
+	for _, e := range selected {
+		leftUsed[e.Left] = true
+		rightUsed[e.Right] = true
+	}
+	for _, e := range candidates {
+		if !leftUsed[e.Left] && !rightUsed[e.Right] {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyMaximal scans candidates in the given order and keeps every edge
+// that does not conflict with an already-kept edge. The result is a maximal
+// matching with respect to the candidate set. This is precisely the greedy
+// flow-selection loop of SRPT and fast BASRPT (paper Algorithm 1): the
+// caller supplies the candidates pre-sorted by the discipline's key.
+func GreedyMaximal(n int, candidates []Edge) []Edge {
+	leftUsed := make([]bool, n)
+	rightUsed := make([]bool, n)
+	var out []Edge
+	for _, e := range candidates {
+		if e.Left < 0 || e.Left >= n || e.Right < 0 || e.Right >= n {
+			continue
+		}
+		if leftUsed[e.Left] || rightUsed[e.Right] {
+			continue
+		}
+		leftUsed[e.Left] = true
+		rightUsed[e.Right] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// MaxCardinality returns a maximum-cardinality matching over the candidate
+// edges using the Hopcroft–Karp algorithm. It is used to verify maximality
+// bounds and by the Birkhoff decomposition, which needs perfect matchings
+// on the support of a doubly stochastic matrix.
+func MaxCardinality(n int, candidates []Edge) []Edge {
+	adj := make([][]int, n)
+	for _, e := range candidates {
+		if e.Left < 0 || e.Left >= n || e.Right < 0 || e.Right >= n {
+			continue
+		}
+		adj[e.Left] = append(adj[e.Left], e.Right)
+	}
+
+	const inf = int(^uint(0) >> 1)
+	matchL := make([]int, n) // left -> right, -1 if free
+	matchR := make([]int, n) // right -> left, -1 if free
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	dist := make([]int, n)
+
+	bfs := func() bool {
+		queue := make([]int, 0, n)
+		for u := 0; u < n; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < n; u++ {
+			if matchL[u] == -1 {
+				dfs(u)
+			}
+		}
+	}
+
+	var out []Edge
+	for u := 0; u < n; u++ {
+		if matchL[u] != -1 {
+			out = append(out, Edge{Left: u, Right: matchL[u]})
+		}
+	}
+	return out
+}
+
+// PerfectMatchingOnSupport finds a perfect matching using only entries of m
+// strictly greater than eps, returning the permutation p with p[i] = column
+// matched to row i. The second return is false when no perfect matching
+// exists on that support. m must be square.
+func PerfectMatchingOnSupport(m [][]float64, eps float64) ([]int, bool) {
+	n := len(m)
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		if len(m[i]) != n {
+			panic(fmt.Sprintf("matching: row %d has length %d, want %d", i, len(m[i]), n))
+		}
+		for j := 0; j < n; j++ {
+			if m[i][j] > eps {
+				edges = append(edges, Edge{Left: i, Right: j})
+			}
+		}
+	}
+	match := MaxCardinality(n, edges)
+	if len(match) != n {
+		return nil, false
+	}
+	perm := make([]int, n)
+	for _, e := range match {
+		perm[e.Left] = e.Right
+	}
+	return perm, true
+}

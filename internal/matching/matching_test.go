@@ -1,0 +1,372 @@
+package matching
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"basrpt/internal/stats"
+)
+
+func TestIsMatching(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges []Edge
+		want  bool
+	}{
+		{"empty", 3, nil, true},
+		{"valid", 3, []Edge{{0, 1}, {1, 0}, {2, 2}}, true},
+		{"left reused", 3, []Edge{{0, 1}, {0, 2}}, false},
+		{"right reused", 3, []Edge{{0, 1}, {2, 1}}, false},
+		{"out of range", 3, []Edge{{0, 3}}, false},
+		{"negative", 3, []Edge{{-1, 0}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsMatching(tt.n, tt.edges); got != tt.want {
+				t.Fatalf("IsMatching = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsMaximal(t *testing.T) {
+	candidates := []Edge{{0, 0}, {0, 1}, {1, 0}}
+	if !IsMaximal(2, candidates, []Edge{{0, 0}}) {
+		// {0,0} blocks both {0,1} (left) and {1,0} (right)... {0,1} shares
+		// left 0, {1,0} shares right 0. So {0,0} alone is maximal.
+		t.Fatal("single blocking edge should be maximal")
+	}
+	if IsMaximal(2, candidates, []Edge{{0, 1}}) {
+		t.Fatal("{0,1} leaves {1,0} addable; not maximal")
+	}
+	if !IsMaximal(2, candidates, []Edge{{0, 1}, {1, 0}}) {
+		t.Fatal("two-edge matching should be maximal")
+	}
+}
+
+func TestGreedyMaximalOrderRespected(t *testing.T) {
+	// Priority order: the first compatible edge wins.
+	candidates := []Edge{{0, 1}, {0, 0}, {1, 1}, {1, 0}}
+	got := GreedyMaximal(2, candidates)
+	want := []Edge{{0, 1}, {1, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("GreedyMaximal = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GreedyMaximal[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGreedyMaximalSkipsBadEdges(t *testing.T) {
+	got := GreedyMaximal(2, []Edge{{-1, 0}, {0, 5}, {0, 0}})
+	if len(got) != 1 || got[0] != (Edge{0, 0}) {
+		t.Fatalf("GreedyMaximal = %v, want [{0 0}]", got)
+	}
+}
+
+// TestGreedyProducesMaximalMatchingProperty: for random candidate sets, the
+// greedy result is always a valid and maximal matching.
+func TestGreedyProducesMaximalMatchingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(8)
+		m := r.Intn(3 * n)
+		candidates := make([]Edge, m)
+		for i := range candidates {
+			candidates[i] = Edge{Left: r.Intn(n), Right: r.Intn(n)}
+		}
+		sel := GreedyMaximal(n, candidates)
+		return IsMatching(n, sel) && IsMaximal(n, candidates, sel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCardinalityKnown(t *testing.T) {
+	// A 3x3 instance where greedy order can trap at 2 but max is 3.
+	candidates := []Edge{{0, 0}, {0, 1}, {1, 0}, {2, 1}, {1, 2}}
+	got := MaxCardinality(3, candidates)
+	if len(got) != 3 {
+		t.Fatalf("MaxCardinality size = %d, want 3 (%v)", len(got), got)
+	}
+	if !IsMatching(3, got) {
+		t.Fatalf("result is not a matching: %v", got)
+	}
+}
+
+func TestMaxCardinalityEmpty(t *testing.T) {
+	if got := MaxCardinality(3, nil); len(got) != 0 {
+		t.Fatalf("MaxCardinality(nil) = %v, want empty", got)
+	}
+}
+
+// TestMaxCardinalityAtLeastGreedy: maximum matching is never smaller than a
+// greedy maximal matching (and at most twice as large — classic bound).
+func TestMaxCardinalityBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(7)
+		m := r.Intn(4 * n)
+		candidates := make([]Edge, m)
+		for i := range candidates {
+			candidates[i] = Edge{Left: r.Intn(n), Right: r.Intn(n)}
+		}
+		greedy := GreedyMaximal(n, candidates)
+		maximum := MaxCardinality(n, candidates)
+		if !IsMatching(n, maximum) {
+			return false
+		}
+		return len(maximum) >= len(greedy) && len(maximum) <= 2*len(greedy)+boolToInt(len(greedy) == 0)*len(maximum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestPerfectMatchingOnSupport(t *testing.T) {
+	m := [][]float64{
+		{0.5, 0.5, 0},
+		{0.5, 0, 0.5},
+		{0, 0.5, 0.5},
+	}
+	perm, ok := PerfectMatchingOnSupport(m, 1e-12)
+	if !ok {
+		t.Fatal("expected a perfect matching")
+	}
+	seen := make([]bool, 3)
+	for i, j := range perm {
+		if m[i][j] <= 1e-12 {
+			t.Fatalf("perm uses zero entry (%d,%d)", i, j)
+		}
+		if seen[j] {
+			t.Fatal("perm is not a permutation")
+		}
+		seen[j] = true
+	}
+	// No perfect matching: column 2 unreachable.
+	m2 := [][]float64{
+		{1, 1, 0},
+		{1, 1, 0},
+		{1, 1, 0},
+	}
+	if _, ok := PerfectMatchingOnSupport(m2, 1e-12); ok {
+		t.Fatal("expected no perfect matching")
+	}
+}
+
+func TestHungarianKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	perm, total, ok := Hungarian(cost)
+	if !ok {
+		t.Fatal("Hungarian failed")
+	}
+	// Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2) = 5.
+	if total != 5 {
+		t.Fatalf("total = %g, want 5 (perm %v)", total, perm)
+	}
+}
+
+func TestHungarianForbiddenCells(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, 1},
+		{1, inf},
+	}
+	perm, total, ok := Hungarian(cost)
+	if !ok || total != 2 {
+		t.Fatalf("Hungarian = (%v, %g, %v), want anti-diagonal cost 2", perm, total, ok)
+	}
+	// Fully forbidden row: infeasible.
+	cost2 := [][]float64{
+		{inf, inf},
+		{1, 1},
+	}
+	if _, _, ok := Hungarian(cost2); ok {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestHungarianEmptyAndPanic(t *testing.T) {
+	if _, total, ok := Hungarian(nil); !ok || total != 0 {
+		t.Fatal("empty Hungarian should trivially succeed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square matrix did not panic")
+		}
+	}()
+	Hungarian([][]float64{{1, 2}})
+}
+
+// TestHungarianMatchesBruteForce compares against exhaustive permutation
+// search on random small instances.
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 + r.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(r.Float64()*100) - 50 // include negatives
+			}
+		}
+		_, got, ok := Hungarian(cost)
+		if !ok {
+			return false
+		}
+		best := math.Inf(1)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var permute func(k int)
+		permute = func(k int) {
+			if k == n {
+				var s float64
+				for i, j := range perm {
+					s += cost[i][j]
+				}
+				if s < best {
+					best = s
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				permute(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		permute(0)
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateMaximalFull2x2(t *testing.T) {
+	// All four edges of a 2x2: maximal matchings are the two perfect ones.
+	candidates := []Edge{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	var all [][]Edge
+	EnumerateMaximal(2, candidates, func(m []Edge) bool {
+		all = append(all, m)
+		return true
+	})
+	if len(all) != 2 {
+		t.Fatalf("found %d maximal matchings, want 2: %v", len(all), all)
+	}
+	for _, m := range all {
+		if len(m) != 2 || !IsMatching(2, m) || !IsMaximal(2, candidates, m) {
+			t.Fatalf("bad maximal matching %v", m)
+		}
+	}
+}
+
+func TestEnumerateMaximalSingleEdgeCases(t *testing.T) {
+	// Star: edges {0,0},{0,1},{1,0}. Maximal matchings: {{0,0}},
+	// {{0,1},{1,0}}.
+	candidates := []Edge{{0, 0}, {0, 1}, {1, 0}}
+	if got := CountMaximal(2, candidates); got != 2 {
+		t.Fatalf("CountMaximal = %d, want 2", got)
+	}
+	// Empty candidate set: the empty matching is (vacuously) maximal.
+	count := 0
+	EnumerateMaximal(2, nil, func(m []Edge) bool {
+		if len(m) != 0 {
+			t.Fatalf("unexpected non-empty matching %v", m)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("empty set visited %d times, want 1", count)
+	}
+}
+
+func TestEnumerateMaximalEarlyStop(t *testing.T) {
+	candidates := []Edge{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	count := 0
+	EnumerateMaximal(2, candidates, func([]Edge) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d, want 1", count)
+	}
+}
+
+// TestEnumerateMaximalProperty: every visited set is a maximal matching,
+// all are distinct, and the count matches a brute-force subset scan.
+func TestEnumerateMaximalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(3)
+		m := r.Intn(6)
+		seen := map[Edge]bool{}
+		var candidates []Edge
+		for i := 0; i < m; i++ {
+			e := Edge{Left: r.Intn(n), Right: r.Intn(n)}
+			if !seen[e] {
+				seen[e] = true
+				candidates = append(candidates, e)
+			}
+		}
+		visited := map[string]bool{}
+		okAll := true
+		EnumerateMaximal(n, candidates, func(mm []Edge) bool {
+			if !IsMatching(n, mm) || !IsMaximal(n, candidates, mm) {
+				okAll = false
+			}
+			key := ""
+			for _, e := range mm {
+				key += string(rune('a'+e.Left)) + string(rune('a'+e.Right))
+			}
+			if visited[key] {
+				okAll = false
+			}
+			visited[key] = true
+			return true
+		})
+		if !okAll {
+			return false
+		}
+		// Brute force over all subsets.
+		want := 0
+		for mask := 0; mask < 1<<len(candidates); mask++ {
+			var sel []Edge
+			for i, e := range candidates {
+				if mask&(1<<i) != 0 {
+					sel = append(sel, e)
+				}
+			}
+			if IsMatching(n, sel) && IsMaximal(n, candidates, sel) {
+				want++
+			}
+		}
+		if len(candidates) == 0 {
+			want = 1
+		}
+		return len(visited) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package optimal computes exact offline optima for tiny scheduling
+// instances on the slotted input-queued switch. The paper (Section II-A)
+// leans on two optimality facts: SRPT minimizes mean response time on a
+// single link, and multi-link mean-FCT minimization is NP-hard (equivalent
+// to sum multicoloring), with the greedy SRPT approximation near-ideal.
+// This package makes both facts testable by brute force:
+//
+//   - MinTotalFCT finds the minimum achievable sum of flow completion
+//     times over all preemptive crossbar schedules.
+//   - MaxCompletedBy finds the maximum number of packets deliverable
+//     within a horizon (the throughput side of the Figure 1 example).
+//
+// State spaces are exponential; callers keep instances to a handful of
+// flows (the constructor enforces a limit).
+package optimal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"basrpt/internal/matching"
+)
+
+// Flow is one offline job: Packets to move from Src to Dst, available from
+// slot Release.
+type Flow struct {
+	Src     int
+	Dst     int
+	Packets int
+	Release int64
+}
+
+// Instance is a validated offline problem.
+type Instance struct {
+	n     int
+	flows []Flow
+}
+
+// ErrTooLarge reports an instance beyond brute-force reach.
+var ErrTooLarge = errors.New("optimal: instance too large for exhaustive search")
+
+// maxFlows bounds the exhaustive search; state count is the product of
+// (packets+1) over flows times the horizon.
+const maxFlows = 6
+
+// maxStates bounds the memoization table.
+const maxStates = 2_000_000
+
+// NewInstance validates an offline problem on an n-port switch.
+func NewInstance(n int, flows []Flow) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("optimal: invalid port count %d", n)
+	}
+	if len(flows) == 0 {
+		return nil, errors.New("optimal: no flows")
+	}
+	if len(flows) > maxFlows {
+		return nil, fmt.Errorf("%w: %d flows (max %d)", ErrTooLarge, len(flows), maxFlows)
+	}
+	states := 1
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
+			return nil, fmt.Errorf("optimal: flow %d ports (%d,%d) out of range", i, f.Src, f.Dst)
+		}
+		if f.Packets < 1 {
+			return nil, fmt.Errorf("optimal: flow %d has %d packets", i, f.Packets)
+		}
+		if f.Release < 0 {
+			return nil, fmt.Errorf("optimal: flow %d released at %d", i, f.Release)
+		}
+		states *= f.Packets + 1
+		if states > maxStates {
+			return nil, fmt.Errorf("%w: state space exceeds %d", ErrTooLarge, maxStates)
+		}
+	}
+	cp := make([]Flow, len(flows))
+	copy(cp, flows)
+	return &Instance{n: n, flows: cp}, nil
+}
+
+// stateKey packs remaining packet counts and the current slot.
+type stateKey struct {
+	rem  [maxFlows]int8
+	slot int32
+}
+
+// decisions enumerates, for a remaining vector at a slot, every maximal
+// matching over the available flows (released and unfinished). Maximal is
+// sufficient for optimality: serving more never hurts in this preemptive
+// unit-capacity model.
+func (in *Instance) decisions(rem []int, slot int64) [][]int {
+	var edges []matching.Edge
+	edgeFlow := map[matching.Edge][]int{}
+	for i, f := range in.flows {
+		if rem[i] == 0 || f.Release > slot {
+			continue
+		}
+		e := matching.Edge{Left: f.Src, Right: f.Dst}
+		edgeFlow[e] = append(edgeFlow[e], i)
+		if len(edgeFlow[e]) == 1 {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	matching.EnumerateMaximal(in.n, edges, func(m []matching.Edge) bool {
+		// For each matched edge, any of its flows may transmit; expand the
+		// cartesian product (tiny: at most maxFlows alternatives).
+		combos := [][]int{nil}
+		for _, e := range m {
+			var next [][]int
+			for _, base := range combos {
+				for _, fi := range edgeFlow[e] {
+					row := append(append([]int(nil), base...), fi)
+					next = append(next, row)
+				}
+			}
+			combos = next
+		}
+		out = append(out, combos...)
+		return true
+	})
+	if len(out) == 0 {
+		out = [][]int{nil}
+	}
+	return out
+}
+
+// MinTotalFCT returns the minimum achievable sum of completion times
+// (slots, counted as completionSlot − release + 1 per flow) over all
+// preemptive schedules, along with the makespan of an optimal schedule.
+func (in *Instance) MinTotalFCT() (totalFCT int64, makespan int64, err error) {
+	// Horizon bound: total packets plus the latest release is always
+	// sufficient for some schedule; the optimum finishes within it.
+	var horizon int64
+	for _, f := range in.flows {
+		horizon += int64(f.Packets)
+		if f.Release > horizon {
+			horizon = f.Release
+		}
+	}
+	horizon += int64(len(in.flows)) // slack for release gaps
+
+	memo := map[stateKey][2]int64{}
+	rem := make([]int, len(in.flows))
+	for i, f := range in.flows {
+		rem[i] = f.Packets
+	}
+
+	var solve func(rem []int, slot int64) (int64, int64)
+	solve = func(rem []int, slot int64) (int64, int64) {
+		allDone := true
+		for _, r := range rem {
+			if r > 0 {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return 0, slot
+		}
+		if slot >= horizon*2 {
+			return math.MaxInt64 / 4, slot // should be unreachable
+		}
+		key := stateKey{slot: int32(slot)}
+		for i, r := range rem {
+			key.rem[i] = int8(r)
+		}
+		if v, ok := memo[key]; ok {
+			return v[0], v[1]
+		}
+		best := int64(math.MaxInt64 / 4)
+		bestSpan := int64(math.MaxInt64 / 4)
+		for _, d := range in.decisions(rem, slot) {
+			next := make([]int, len(rem))
+			copy(next, rem)
+			var completedCost int64
+			for _, fi := range d {
+				next[fi]--
+				if next[fi] == 0 {
+					completedCost += slot - in.flows[fi].Release + 1
+				}
+			}
+			sub, span := solve(next, slot+1)
+			if completedCost+sub < best || (completedCost+sub == best && span < bestSpan) {
+				best = completedCost + sub
+				bestSpan = span
+			}
+		}
+		memo[key] = [2]int64{best, bestSpan}
+		return best, bestSpan
+	}
+	total, span := solve(rem, 0)
+	if total >= math.MaxInt64/4 {
+		return 0, 0, errors.New("optimal: search did not complete within horizon")
+	}
+	return total, span, nil
+}
+
+// MaxCompletedBy returns the maximum number of packets that any schedule
+// can deliver within the first `slots` slots.
+func (in *Instance) MaxCompletedBy(slots int64) (int64, error) {
+	if slots < 0 {
+		return 0, fmt.Errorf("optimal: negative horizon %d", slots)
+	}
+	memo := map[stateKey]int64{}
+	rem := make([]int, len(in.flows))
+	for i, f := range in.flows {
+		rem[i] = f.Packets
+	}
+	var solve func(rem []int, slot int64) int64
+	solve = func(rem []int, slot int64) int64 {
+		if slot >= slots {
+			return 0
+		}
+		key := stateKey{slot: int32(slot)}
+		for i, r := range rem {
+			key.rem[i] = int8(r)
+		}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var best int64
+		for _, d := range in.decisions(rem, slot) {
+			next := make([]int, len(rem))
+			copy(next, rem)
+			for _, fi := range d {
+				next[fi]--
+			}
+			if got := int64(len(d)) + solve(next, slot+1); got > best {
+				best = got
+			}
+		}
+		memo[key] = best
+		return best
+	}
+	return solve(rem, 0), nil
+}
+
+// String renders the instance for diagnostics.
+func (in *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-port instance:", in.n)
+	flows := make([]Flow, len(in.flows))
+	copy(flows, in.flows)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].Release < flows[j].Release })
+	for _, f := range flows {
+		fmt.Fprintf(&b, " [%d->%d %dpkt@%d]", f.Src, f.Dst, f.Packets, f.Release)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"fmt"
+	"slices"
+
+	"basrpt/internal/flow"
+	"basrpt/internal/stats"
+)
+
+// MaxWeight serves the longest queues first — the classic throughput-
+// optimal (but delay-oblivious) input-queued switch discipline, and the
+// V = 0 limit of the BASRPT family. Within a chosen VOQ the shortest flow
+// transmits.
+type MaxWeight struct {
+	g greedy
+}
+
+var _ Scheduler = (*MaxWeight)(nil)
+
+// NewMaxWeight returns a MaxWeight scheduler.
+func NewMaxWeight() *MaxWeight { return &MaxWeight{} }
+
+// Name returns "maxweight".
+func (*MaxWeight) Name() string { return "maxweight" }
+
+// Schedule selects flows greedily by descending VOQ backlog.
+func (s *MaxWeight) Schedule(t *flow.Table) []*flow.Flow {
+	return s.g.schedule(t, func(c Candidate) float64 { return -c.QueueLen })
+}
+
+// FIFOMatch serves flows in arrival order: the oldest flow among the
+// non-empty VOQs wins each greedy step. It is the classic "fair but slow"
+// reference against which SRPT's delay advantage is usually shown.
+type FIFOMatch struct {
+	g greedy
+}
+
+var _ Scheduler = (*FIFOMatch)(nil)
+
+// NewFIFOMatch returns a FIFO scheduler.
+func NewFIFOMatch() *FIFOMatch { return &FIFOMatch{} }
+
+// Name returns "fifo".
+func (*FIFOMatch) Name() string { return "fifo" }
+
+// Schedule selects flows greedily by arrival time. Unlike the size-based
+// disciplines, the per-VOQ candidate is the earliest-arrived flow, which
+// requires an O(q) scan of each VOQ.
+func (s *FIFOMatch) Schedule(t *flow.Table) []*flow.Flow {
+	s.g.cands = s.g.cands[:0]
+	t.ForEachNonEmpty(func(q *flow.VOQ) {
+		var oldest *flow.Flow
+		for _, f := range q.Flows() {
+			if oldest == nil || f.Arrival < oldest.Arrival ||
+				(f.Arrival == oldest.Arrival && f.ID < oldest.ID) {
+				oldest = f
+			}
+		}
+		s.g.cands = append(s.g.cands, scored{key: oldest.Arrival, f: oldest})
+	})
+	if len(s.g.cands) == 0 {
+		return nil
+	}
+	slices.SortFunc(s.g.cands, cmpScored)
+	return s.g.pick(t.N())
+}
+
+// ThresholdBacklog is the simple backlog-aware strategy of the paper's
+// Figure 2 motivation: flows whose VOQ backlog exceeds the threshold are
+// prioritized (longest backlog first); all other flows are scheduled by
+// plain SRPT behind them.
+type ThresholdBacklog struct {
+	threshold float64
+	g         greedy
+}
+
+var _ Scheduler = (*ThresholdBacklog)(nil)
+
+// NewThresholdBacklog returns the threshold strategy. threshold is the
+// backlog level (same unit as flow sizes) above which a VOQ jumps the SRPT
+// queue.
+func NewThresholdBacklog(threshold float64) *ThresholdBacklog {
+	return &ThresholdBacklog{threshold: threshold}
+}
+
+// Threshold returns the configured backlog threshold.
+func (s *ThresholdBacklog) Threshold() float64 { return s.threshold }
+
+// Name returns "threshold(T=...)".
+func (s *ThresholdBacklog) Name() string { return fmt.Sprintf("threshold(T=%g)", s.threshold) }
+
+// Schedule prioritizes over-threshold backlogs, then falls back to SRPT.
+// The two-band key maps over-threshold VOQs to negative values ordered by
+// descending backlog while the rest keep their SRPT ordering at >= 0.
+func (s *ThresholdBacklog) Schedule(t *flow.Table) []*flow.Flow {
+	return s.g.schedule(t, func(c Candidate) float64 {
+		if c.QueueLen > s.threshold {
+			return -c.QueueLen
+		}
+		return c.Flow.Remaining
+	})
+}
+
+// Random picks a uniformly random maximal matching each decision. It is the
+// naive lower bound for both delay and stability experiments, and doubles
+// as a randomized-schedule existence check for the Birkhoff argument.
+type Random struct {
+	rng *stats.RNG
+	g   greedy
+}
+
+var _ Scheduler = (*Random)(nil)
+
+// NewRandom builds a random scheduler with its own deterministic stream.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: stats.NewRNG(seed)}
+}
+
+// Name returns "random".
+func (*Random) Name() string { return "random" }
+
+// Schedule shuffles the candidate VOQs and greedily picks a maximal
+// matching in that order.
+func (r *Random) Schedule(t *flow.Table) []*flow.Flow {
+	r.g.gather(t, func(Candidate) float64 { return 0 })
+	if len(r.g.cands) == 0 {
+		return nil
+	}
+	// Fisher–Yates over the gathered candidates.
+	for i := len(r.g.cands) - 1; i > 0; i-- {
+		j := r.rng.Intn(i + 1)
+		r.g.cands[i], r.g.cands[j] = r.g.cands[j], r.g.cands[i]
+	}
+	return r.g.pick(t.N())
+}

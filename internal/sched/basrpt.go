@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"basrpt/internal/flow"
+	"basrpt/internal/matching"
+)
+
+// FastBASRPT is paper Algorithm 1: flows are considered in non-decreasing
+// order of (V/N)·remaining − queueLength and greedily added under the
+// crossbar constraint. Summing that key over a full N-flow decision yields
+// V·ȳ − ΣXijRij, the exact BASRPT objective, so the greedy rule
+// approximately minimizes the drift-plus-penalty bound while assigning
+// every flow a global priority — which is what makes a distributed
+// implementation possible.
+//
+// V >= 0 weighs FCT minimization against queue stabilization: V → ∞
+// recovers SRPT, V = 0 serves the longest queues (MaxWeight-like).
+type FastBASRPT struct {
+	v float64
+	g greedy
+}
+
+var _ Scheduler = (*FastBASRPT)(nil)
+
+// NewFastBASRPT returns a fast BASRPT scheduler with the given tradeoff
+// weight V (paper Section IV). It panics on negative V, which the model
+// does not define.
+func NewFastBASRPT(v float64) *FastBASRPT {
+	if v < 0 {
+		panic(fmt.Sprintf("sched: negative V %g", v))
+	}
+	return &FastBASRPT{v: v}
+}
+
+// V returns the configured tradeoff weight.
+func (s *FastBASRPT) V() float64 { return s.v }
+
+// Name returns "fast-basrpt(V=...)".
+func (s *FastBASRPT) Name() string { return fmt.Sprintf("fast-basrpt(V=%g)", s.v) }
+
+// Schedule selects flows greedily by the Algorithm 1 key.
+func (s *FastBASRPT) Schedule(t *flow.Table) []*flow.Flow {
+	vOverN := s.v / float64(t.N())
+	return s.g.schedule(t, func(c Candidate) float64 {
+		return vOverN*c.Flow.Remaining - c.QueueLen
+	})
+}
+
+// ExactBASRPT is the exact drift-plus-penalty minimizer of Section IV-A:
+// it enumerates every maximal matching of the non-empty VOQs and selects
+// the one minimizing V·ȳ(t) − Σij Xij(t)Rij(t), where ȳ is the mean
+// remaining size of the selected flows and the second term is the total
+// backlog of the selected queues.
+//
+// Within a VOQ the minimum-remaining flow is always chosen: swapping any
+// selected flow for a longer VOQ-mate changes neither ΣX nor the matching
+// but increases ȳ, so the reduction is exact.
+//
+// The enumeration is factorial in the number of ports — the very
+// impracticality that motivates fast BASRPT — so Schedule panics when the
+// switch exceeds the configured port limit.
+type ExactBASRPT struct {
+	v        float64
+	maxPorts int
+}
+
+var _ Scheduler = (*ExactBASRPT)(nil)
+
+// DefaultExactMaxPorts is the largest switch ExactBASRPT accepts unless
+// overridden.
+const DefaultExactMaxPorts = 8
+
+// NewExactBASRPT returns the exhaustive BASRPT scheduler. maxPorts bounds
+// the fabric size the search will accept; 0 selects
+// DefaultExactMaxPorts. It panics on negative V.
+func NewExactBASRPT(v float64, maxPorts int) *ExactBASRPT {
+	if v < 0 {
+		panic(fmt.Sprintf("sched: negative V %g", v))
+	}
+	if maxPorts <= 0 {
+		maxPorts = DefaultExactMaxPorts
+	}
+	return &ExactBASRPT{v: v, maxPorts: maxPorts}
+}
+
+// V returns the configured tradeoff weight.
+func (s *ExactBASRPT) V() float64 { return s.v }
+
+// Name returns "exact-basrpt(V=...)".
+func (s *ExactBASRPT) Name() string { return fmt.Sprintf("exact-basrpt(V=%g)", s.v) }
+
+// Schedule exhaustively minimizes the BASRPT objective.
+func (s *ExactBASRPT) Schedule(t *flow.Table) []*flow.Flow {
+	if t.N() > s.maxPorts {
+		panic(fmt.Sprintf("sched: exact BASRPT on %d ports exceeds limit %d", t.N(), s.maxPorts))
+	}
+	if t.NumNonEmpty() == 0 {
+		return nil
+	}
+	// Map (src,dst) edge -> VOQ for decision reconstruction.
+	n := t.N()
+	byEdge := make(map[matching.Edge]*flow.VOQ, t.NumNonEmpty())
+	edges := make([]matching.Edge, 0, t.NumNonEmpty())
+	t.ForEachNonEmpty(func(q *flow.VOQ) {
+		e := matching.Edge{Left: q.Src, Right: q.Dst}
+		byEdge[e] = q
+		edges = append(edges, e)
+	})
+
+	best := math.Inf(1)
+	var bestEdges []matching.Edge
+	matching.EnumerateMaximal(n, edges, func(m []matching.Edge) bool {
+		if len(m) == 0 {
+			return true
+		}
+		var sumRemaining, sumQueue float64
+		for _, e := range m {
+			q := byEdge[e]
+			sumRemaining += q.Top().Remaining
+			sumQueue += q.Backlog()
+		}
+		obj := s.v*sumRemaining/float64(len(m)) - sumQueue
+		if obj < best-1e-12 || (math.Abs(obj-best) <= 1e-12 && lessEdges(m, bestEdges)) {
+			best = obj
+			bestEdges = append(bestEdges[:0], m...)
+		}
+		return true
+	})
+
+	decision := make([]*flow.Flow, 0, len(bestEdges))
+	for _, e := range bestEdges {
+		decision = append(decision, byEdge[e].Top())
+	}
+	return decision
+}
+
+// lessEdges gives a deterministic tie-break between equal-objective
+// matchings: lexicographic on the (sorted) edge lists.
+func lessEdges(a, b []matching.Edge) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b) // prefer serving more queues on ties
+	}
+	for i := range a {
+		if a[i].Left != b[i].Left {
+			return a[i].Left < b[i].Left
+		}
+		if a[i].Right != b[i].Right {
+			return a[i].Right < b[i].Right
+		}
+	}
+	return false
+}
+
+// Objective computes the BASRPT objective V·ȳ − ΣX over a decision, using
+// the decision flows' VOQ backlogs from t. An empty decision scores +Inf
+// (never preferred). Exposed for tests and the exact-vs-fast ablation.
+func Objective(v float64, t *flow.Table, decision []*flow.Flow) float64 {
+	if len(decision) == 0 {
+		return math.Inf(1)
+	}
+	var sumRemaining, sumQueue float64
+	for _, f := range decision {
+		sumRemaining += f.Remaining
+		sumQueue += t.VOQ(f.Src, f.Dst).Backlog()
+	}
+	return v*sumRemaining/float64(len(decision)) - sumQueue
+}

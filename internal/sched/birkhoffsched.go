@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fmt"
+
+	"basrpt/internal/birkhoff"
+	"basrpt/internal/flow"
+	"basrpt/internal/stats"
+)
+
+// BirkhoffRandom is the randomized stabilizing schedule from the paper's
+// Section IV-A existence argument made executable: given an admissible
+// rate matrix Λ, pad it by the slack ε, complete it to doubly stochastic,
+// decompose it into permutation matrices (Birkhoff's theorem), and on each
+// decision sample a permutation σ with probability u(σ). Every VOQ then
+// receives service rate R̄ij ≥ λij + ε, which is the property Theorem 1's
+// ε-slack argument needs.
+//
+// It is deliberately oblivious to queue contents (beyond skipping empty
+// VOQs, choosing the shortest flow within a served VOQ), so it brackets
+// the design space: stable like MaxWeight/BASRPT, but with none of their
+// delay awareness.
+type BirkhoffRandom struct {
+	comps   []birkhoff.Component
+	cum     []float64 // cumulative weights for sampling
+	epsilon float64
+	rng     *stats.RNG
+}
+
+var _ Scheduler = (*BirkhoffRandom)(nil)
+
+// NewBirkhoffRandom builds the randomized schedule for the given
+// normalized rate matrix (entries in service-rate units, line sums < 1).
+// It returns an error when the matrix is inadmissible or has no slack.
+func NewBirkhoffRandom(lambda [][]float64, seed uint64) (*BirkhoffRandom, error) {
+	comps, epsilon, err := birkhoff.SlackSchedule(lambda)
+	if err != nil {
+		return nil, fmt.Errorf("sched: birkhoff schedule: %w", err)
+	}
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("sched: rate matrix has no slack (load at capacity)")
+	}
+	s := &BirkhoffRandom{
+		comps:   comps,
+		epsilon: epsilon,
+		rng:     stats.NewRNG(seed),
+	}
+	var total float64
+	for _, c := range comps {
+		total += c.Weight
+		s.cum = append(s.cum, total)
+	}
+	return s, nil
+}
+
+// Epsilon returns the per-VOQ service slack the schedule guarantees.
+func (s *BirkhoffRandom) Epsilon() float64 { return s.epsilon }
+
+// NumComponents returns the number of permutations in the decomposition.
+func (s *BirkhoffRandom) NumComponents() int { return len(s.comps) }
+
+// Name returns "birkhoff-random".
+func (*BirkhoffRandom) Name() string { return "birkhoff-random" }
+
+// Schedule samples a permutation and serves the shortest flow of each
+// matched, non-empty VOQ.
+func (s *BirkhoffRandom) Schedule(t *flow.Table) []*flow.Flow {
+	if t.NumNonEmpty() == 0 {
+		return nil
+	}
+	perm := s.comps[s.sample()].Perm
+	if len(perm) != t.N() {
+		panic(fmt.Sprintf("sched: birkhoff schedule built for %d ports, fabric has %d", len(perm), t.N()))
+	}
+	var out []*flow.Flow
+	for i, j := range perm {
+		if f := t.VOQ(i, j).Top(); f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// sample draws a component index from the weight distribution.
+func (s *BirkhoffRandom) sample() int {
+	u := s.rng.Float64() * s.cum[len(s.cum)-1]
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"basrpt/internal/flow"
+)
+
+// NoisyFastBASRPT is fast BASRPT operating on *estimated* flow sizes. The
+// paper (like pFabric/PDQ/PASE) assumes exact prior knowledge of sizes;
+// real systems estimate them, so this wrapper quantifies the sensitivity:
+// each flow's remaining size is perceived as remaining·factor, where
+// factor is a deterministic per-flow multiplicative error, log-uniform in
+// [1/(1+NoiseLevel), 1+NoiseLevel]. Queue lengths (local state) stay
+// exact. NoiseLevel = 0 is plain fast BASRPT.
+//
+// Modeling scope: the error perturbs each VOQ head flow's priority in the
+// cross-VOQ competition; within a VOQ the true shortest flow still
+// represents the queue (the candidate-per-VOQ optimization). This models
+// an estimator that mis-sizes flows but a transport that still drains a
+// chosen queue shortest-first.
+type NoisyFastBASRPT struct {
+	v          float64
+	noiseLevel float64
+	g          greedy
+}
+
+var _ Scheduler = (*NoisyFastBASRPT)(nil)
+
+// NewNoisyFastBASRPT builds the estimated-size variant. It panics on
+// negative v or noiseLevel (configuration errors).
+func NewNoisyFastBASRPT(v, noiseLevel float64) *NoisyFastBASRPT {
+	if v < 0 {
+		panic(fmt.Sprintf("sched: negative V %g", v))
+	}
+	if noiseLevel < 0 {
+		panic(fmt.Sprintf("sched: negative noise level %g", noiseLevel))
+	}
+	return &NoisyFastBASRPT{v: v, noiseLevel: noiseLevel}
+}
+
+// Name returns "noisy-basrpt(V=..., noise=...)".
+func (s *NoisyFastBASRPT) Name() string {
+	return fmt.Sprintf("noisy-basrpt(V=%g,noise=%g)", s.v, s.noiseLevel)
+}
+
+// Schedule runs the Algorithm 1 greedy loop on perceived sizes.
+func (s *NoisyFastBASRPT) Schedule(t *flow.Table) []*flow.Flow {
+	vOverN := s.v / float64(t.N())
+	return s.g.schedule(t, func(c Candidate) float64 {
+		return vOverN*c.Flow.Remaining*s.factor(c.Flow.ID) - c.QueueLen
+	})
+}
+
+// factor derives the flow's deterministic estimation error from its ID via
+// a splitmix64-style hash, mapped log-uniformly onto
+// [1/(1+noise), 1+noise]. Determinism keeps runs reproducible and gives
+// each flow a consistent bias, like a real per-flow estimator would.
+func (s *NoisyFastBASRPT) factor(id flow.ID) float64 {
+	if s.noiseLevel == 0 {
+		return 1
+	}
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53) // uniform [0, 1)
+	logSpan := math.Log(1 + s.noiseLevel)
+	return math.Exp((2*u - 1) * logSpan)
+}

@@ -1,0 +1,27 @@
+package sched
+
+import "basrpt/internal/flow"
+
+// SRPT is the Shortest Remaining Processing Time discipline as used in
+// data-center transports (PDQ, pFabric, PASE): flows are considered in
+// non-decreasing order of remaining size and greedily added until every
+// remaining flow is blocked by the crossbar constraint. This is the
+// approximate multi-link SRPT the paper describes in Section II-A, with
+// near-ideal delay but — as the paper demonstrates — a reduced stability
+// region.
+type SRPT struct {
+	g greedy
+}
+
+var _ Scheduler = (*SRPT)(nil)
+
+// NewSRPT returns an SRPT scheduler.
+func NewSRPT() *SRPT { return &SRPT{} }
+
+// Name returns "srpt".
+func (*SRPT) Name() string { return "srpt" }
+
+// Schedule selects flows greedily by remaining size.
+func (s *SRPT) Schedule(t *flow.Table) []*flow.Flow {
+	return s.g.schedule(t, func(c Candidate) float64 { return c.Flow.Remaining })
+}

@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sampler produces random values from some distribution using the supplied
+// generator. Samplers are stateless so one instance can serve many streams.
+type Sampler interface {
+	// Sample draws one value.
+	Sample(r *RNG) float64
+	// Mean returns the analytic mean of the distribution.
+	Mean() float64
+}
+
+// Constant is a degenerate distribution that always returns Value. The
+// paper's query/response flows are fixed at 20KB, which this models.
+type Constant struct {
+	Value float64
+}
+
+var _ Sampler = Constant{}
+
+// Sample returns the constant value.
+func (c Constant) Sample(*RNG) float64 { return c.Value }
+
+// Mean returns the constant value.
+func (c Constant) Mean() float64 { return c.Value }
+
+// Exponential samples Exp(Rate) values (mean 1/Rate). Flow inter-arrival
+// times in the paper follow a Poisson process, i.e. exponential gaps.
+type Exponential struct {
+	Rate float64
+}
+
+var _ Sampler = Exponential{}
+
+// Sample draws one exponential value.
+func (e Exponential) Sample(r *RNG) float64 { return r.Exp(e.Rate) }
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+var _ Sampler = Uniform{}
+
+// Sample draws one uniform value.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// Mean returns the midpoint of the interval.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// BoundedPareto samples a Pareto distribution with shape Alpha truncated to
+// [Lo, Hi].
+type BoundedPareto struct {
+	Alpha, Lo, Hi float64
+}
+
+var _ Sampler = BoundedPareto{}
+
+// Sample draws one bounded-Pareto value.
+func (p BoundedPareto) Sample(r *RNG) float64 { return r.Pareto(p.Alpha, p.Lo, p.Hi) }
+
+// Mean returns the analytic mean of the bounded Pareto distribution.
+func (p BoundedPareto) Mean() float64 {
+	a, l, h := p.Alpha, p.Lo, p.Hi
+	if a == 1 {
+		return h * l / (h - l) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * a / (a - 1) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// CDFPoint is one knot of an empirical CDF: P(X <= Value) = Prob.
+type CDFPoint struct {
+	Value float64
+	Prob  float64
+}
+
+// EmpiricalCDF samples from a piecewise-linear empirical distribution given
+// as CDF knots. This is how the published DCTCP web-search and data-mining
+// flow-size distributions are reproduced.
+type EmpiricalCDF struct {
+	points []CDFPoint
+	mean   float64
+}
+
+var _ Sampler = (*EmpiricalCDF)(nil)
+
+// ErrBadCDF reports an invalid empirical CDF specification.
+var ErrBadCDF = errors.New("stats: invalid empirical CDF")
+
+// NewEmpiricalCDF validates and builds an empirical CDF. The knots must have
+// strictly increasing values, non-decreasing probabilities, start at a
+// probability of 0 and end at 1.
+func NewEmpiricalCDF(points []CDFPoint) (*EmpiricalCDF, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 knots, got %d", ErrBadCDF, len(points))
+	}
+	if points[0].Prob != 0 {
+		return nil, fmt.Errorf("%w: first knot probability %g, want 0", ErrBadCDF, points[0].Prob)
+	}
+	last := points[len(points)-1]
+	if last.Prob != 1 {
+		return nil, fmt.Errorf("%w: last knot probability %g, want 1", ErrBadCDF, last.Prob)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Value <= points[i-1].Value {
+			return nil, fmt.Errorf("%w: values not strictly increasing at knot %d", ErrBadCDF, i)
+		}
+		if points[i].Prob < points[i-1].Prob {
+			return nil, fmt.Errorf("%w: probabilities decreasing at knot %d", ErrBadCDF, i)
+		}
+	}
+	pts := make([]CDFPoint, len(points))
+	copy(pts, points)
+	e := &EmpiricalCDF{points: pts}
+	e.mean = e.computeMean()
+	return e, nil
+}
+
+// MustEmpiricalCDF is NewEmpiricalCDF that panics on error; for use with
+// compile-time-constant distribution tables.
+func MustEmpiricalCDF(points []CDFPoint) *EmpiricalCDF {
+	e, err := NewEmpiricalCDF(points)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Sample draws one value by inverse-transform sampling with linear
+// interpolation between knots.
+func (e *EmpiricalCDF) Sample(r *RNG) float64 {
+	return e.Quantile(r.Float64())
+}
+
+// Quantile returns the value at cumulative probability p in [0, 1].
+func (e *EmpiricalCDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.points[0].Value
+	}
+	if p >= 1 {
+		return e.points[len(e.points)-1].Value
+	}
+	// Find the first knot with Prob >= p.
+	i := sort.Search(len(e.points), func(i int) bool { return e.points[i].Prob >= p })
+	if i == 0 {
+		return e.points[0].Value
+	}
+	lo, hi := e.points[i-1], e.points[i]
+	if hi.Prob == lo.Prob {
+		return hi.Value
+	}
+	frac := (p - lo.Prob) / (hi.Prob - lo.Prob)
+	return lo.Value + frac*(hi.Value-lo.Value)
+}
+
+// CDF returns P(X <= v) under the piecewise-linear model.
+func (e *EmpiricalCDF) CDF(v float64) float64 {
+	if v <= e.points[0].Value {
+		return 0
+	}
+	n := len(e.points)
+	if v >= e.points[n-1].Value {
+		return 1
+	}
+	i := sort.Search(n, func(i int) bool { return e.points[i].Value >= v })
+	lo, hi := e.points[i-1], e.points[i]
+	frac := (v - lo.Value) / (hi.Value - lo.Value)
+	return lo.Prob + frac*(hi.Prob-lo.Prob)
+}
+
+// Mean returns the analytic mean of the piecewise-linear distribution.
+func (e *EmpiricalCDF) Mean() float64 { return e.mean }
+
+// Min returns the smallest representable value.
+func (e *EmpiricalCDF) Min() float64 { return e.points[0].Value }
+
+// Max returns the largest representable value.
+func (e *EmpiricalCDF) Max() float64 { return e.points[len(e.points)-1].Value }
+
+func (e *EmpiricalCDF) computeMean() float64 {
+	// Between adjacent knots the distribution is uniform on [v0, v1] with
+	// total mass (p1 - p0), so each segment contributes mass * midpoint.
+	var mean float64
+	for i := 1; i < len(e.points); i++ {
+		lo, hi := e.points[i-1], e.points[i]
+		mass := hi.Prob - lo.Prob
+		mean += mass * (lo.Value + hi.Value) / 2
+	}
+	return mean
+}
+
+// Scaled wraps a sampler and multiplies every draw by Factor. Useful to
+// express distributions in packets versus bytes without duplicating tables.
+type Scaled struct {
+	S      Sampler
+	Factor float64
+}
+
+var _ Sampler = Scaled{}
+
+// Sample draws from the inner sampler and scales the result.
+func (s Scaled) Sample(r *RNG) float64 { return s.S.Sample(r) * s.Factor }
+
+// Mean returns the scaled mean.
+func (s Scaled) Mean() float64 { return s.S.Mean() * s.Factor }

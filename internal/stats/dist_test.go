@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantSampler(t *testing.T) {
+	c := Constant{Value: 20000}
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if got := c.Sample(r); got != 20000 {
+			t.Fatalf("Constant.Sample = %g, want 20000", got)
+		}
+	}
+	if c.Mean() != 20000 {
+		t.Fatalf("Constant.Mean = %g, want 20000", c.Mean())
+	}
+}
+
+func TestExponentialSamplerMean(t *testing.T) {
+	e := Exponential{Rate: 0.5}
+	if got := e.Mean(); got != 2 {
+		t.Fatalf("Exponential.Mean = %g, want 2", got)
+	}
+	r := NewRNG(2)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(e.Sample(r))
+	}
+	if math.Abs(s.Mean()-2)/2 > 0.03 {
+		t.Fatalf("Exponential sample mean = %g, want ~2", s.Mean())
+	}
+}
+
+func TestUniformSampler(t *testing.T) {
+	u := Uniform{Lo: 5, Hi: 15}
+	if got := u.Mean(); got != 10 {
+		t.Fatalf("Uniform.Mean = %g, want 10", got)
+	}
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := u.Sample(r)
+		if v < 5 || v >= 15 {
+			t.Fatalf("Uniform sample %g out of [5, 15)", v)
+		}
+	}
+}
+
+func TestEmpiricalCDFValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		points []CDFPoint
+		ok     bool
+	}{
+		{
+			name:   "valid",
+			points: []CDFPoint{{0, 0}, {10, 0.5}, {100, 1}},
+			ok:     true,
+		},
+		{
+			name:   "too few knots",
+			points: []CDFPoint{{0, 0}},
+			ok:     false,
+		},
+		{
+			name:   "first prob nonzero",
+			points: []CDFPoint{{0, 0.1}, {10, 1}},
+			ok:     false,
+		},
+		{
+			name:   "last prob not one",
+			points: []CDFPoint{{0, 0}, {10, 0.9}},
+			ok:     false,
+		},
+		{
+			name:   "values not increasing",
+			points: []CDFPoint{{0, 0}, {0, 0.5}, {10, 1}},
+			ok:     false,
+		},
+		{
+			name:   "probs decreasing",
+			points: []CDFPoint{{0, 0}, {5, 0.7}, {10, 0.5}, {20, 1}},
+			ok:     false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewEmpiricalCDF(tt.points)
+			if tt.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tt.ok {
+				if err == nil {
+					t.Fatal("expected error, got nil")
+				}
+				if !errors.Is(err, ErrBadCDF) {
+					t.Fatalf("error %v does not wrap ErrBadCDF", err)
+				}
+			}
+		})
+	}
+}
+
+func TestEmpiricalCDFQuantileMonotone(t *testing.T) {
+	e := MustEmpiricalCDF([]CDFPoint{
+		{1000, 0}, {10000, 0.5}, {1e6, 0.9}, {5e7, 1},
+	})
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / math.MaxUint16
+		b := float64(bRaw) / math.MaxUint16
+		if a > b {
+			a, b = b, a
+		}
+		return e.Quantile(a) <= e.Quantile(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalCDFRoundTrip(t *testing.T) {
+	e := MustEmpiricalCDF([]CDFPoint{
+		{1000, 0}, {10000, 0.5}, {1e6, 0.9}, {5e7, 1},
+	})
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := e.Quantile(p)
+		back := e.CDF(v)
+		if math.Abs(back-p) > 1e-9 {
+			t.Fatalf("CDF(Quantile(%g)) = %g, want %g", p, back, p)
+		}
+	}
+}
+
+func TestEmpiricalCDFBounds(t *testing.T) {
+	e := MustEmpiricalCDF([]CDFPoint{{10, 0}, {20, 1}})
+	if got := e.Quantile(0); got != 10 {
+		t.Fatalf("Quantile(0) = %g, want 10", got)
+	}
+	if got := e.Quantile(1); got != 20 {
+		t.Fatalf("Quantile(1) = %g, want 20", got)
+	}
+	if got := e.CDF(5); got != 0 {
+		t.Fatalf("CDF(5) = %g, want 0", got)
+	}
+	if got := e.CDF(25); got != 1 {
+		t.Fatalf("CDF(25) = %g, want 1", got)
+	}
+	if got, want := e.Min(), 10.0; got != want {
+		t.Fatalf("Min = %g, want %g", got, want)
+	}
+	if got, want := e.Max(), 20.0; got != want {
+		t.Fatalf("Max = %g, want %g", got, want)
+	}
+}
+
+func TestEmpiricalCDFSampleMeanMatchesAnalytic(t *testing.T) {
+	e := MustEmpiricalCDF([]CDFPoint{
+		{1000, 0}, {20000, 0.6}, {1e6, 0.95}, {2e7, 1},
+	})
+	r := NewRNG(9)
+	var s Summary
+	for i := 0; i < 300000; i++ {
+		v := e.Sample(r)
+		if v < e.Min() || v > e.Max() {
+			t.Fatalf("sample %g out of [%g, %g]", v, e.Min(), e.Max())
+		}
+		s.Add(v)
+	}
+	want := e.Mean()
+	if math.Abs(s.Mean()-want)/want > 0.03 {
+		t.Fatalf("empirical sample mean = %g, want ~%g", s.Mean(), want)
+	}
+}
+
+func TestScaledSampler(t *testing.T) {
+	s := Scaled{S: Constant{Value: 3}, Factor: 7}
+	if got := s.Mean(); got != 21 {
+		t.Fatalf("Scaled.Mean = %g, want 21", got)
+	}
+	if got := s.Sample(NewRNG(1)); got != 21 {
+		t.Fatalf("Scaled.Sample = %g, want 21", got)
+	}
+}
+
+func TestMustEmpiricalCDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEmpiricalCDF with bad input did not panic")
+		}
+	}()
+	MustEmpiricalCDF([]CDFPoint{{0, 0.5}})
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEmpiricalCDFRoundTrip checks CDF/Quantile consistency and bounds for
+// arbitrary 3-knot distributions.
+func FuzzEmpiricalCDFRoundTrip(f *testing.F) {
+	f.Add(1.0, 10.0, 100.0, 0.5, 0.25)
+	f.Add(0.001, 0.002, 0.003, 0.1, 0.9)
+	f.Add(1e3, 2e6, 5e7, 0.6, 0.95)
+	f.Fuzz(func(t *testing.T, v0, v1, v2, p1, q float64) {
+		if !(v0 < v1 && v1 < v2) || math.IsNaN(v0) || math.IsInf(v2, 0) {
+			t.Skip()
+		}
+		if !(p1 > 0 && p1 < 1) || math.IsNaN(p1) {
+			t.Skip()
+		}
+		e, err := NewEmpiricalCDF([]CDFPoint{{v0, 0}, {v1, p1}, {v2, 1}})
+		if err != nil {
+			t.Skip()
+		}
+		if !(q >= 0 && q <= 1) {
+			t.Skip()
+		}
+		val := e.Quantile(q)
+		if val < v0 || val > v2 {
+			t.Fatalf("Quantile(%g) = %g outside [%g, %g]", q, val, v0, v2)
+		}
+		back := e.CDF(val)
+		if q > 0 && q < 1 && math.Abs(back-q) > 1e-6 {
+			t.Fatalf("CDF(Quantile(%g)) = %g", q, back)
+		}
+		mean := e.Mean()
+		if mean < v0 || mean > v2 {
+			t.Fatalf("Mean %g outside support [%g, %g]", mean, v0, v2)
+		}
+	})
+}
+
+// FuzzPercentile checks bounds and monotonicity of the percentile helper.
+func FuzzPercentile(f *testing.F) {
+	f.Add([]byte{1, 5, 3, 200}, 50.0, 90.0)
+	f.Add([]byte{7}, 0.0, 100.0)
+	f.Fuzz(func(t *testing.T, raw []byte, pa, pb float64) {
+		if len(raw) == 0 {
+			t.Skip()
+		}
+		if math.IsNaN(pa) || math.IsNaN(pb) {
+			t.Skip()
+		}
+		values := make([]float64, len(raw))
+		minV, maxV := float64(raw[0]), float64(raw[0])
+		for i, b := range raw {
+			values[i] = float64(b)
+			if values[i] < minV {
+				minV = values[i]
+			}
+			if values[i] > maxV {
+				maxV = values[i]
+			}
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va := Percentile(values, pa)
+		vb := Percentile(values, pb)
+		if va > vb {
+			t.Fatalf("percentile not monotone: P%g=%g > P%g=%g", pa, va, pb, vb)
+		}
+		if va < minV || vb > maxV {
+			t.Fatalf("percentiles outside data range [%g, %g]: %g, %g", minV, maxV, va, vb)
+		}
+	})
+}

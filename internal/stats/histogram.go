@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-boundary histogram. Boundaries are the upper edges of
+// each bucket; an extra overflow bucket catches values beyond the last edge.
+type Histogram struct {
+	edges  []float64
+	counts []int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// edges. It panics if edges is empty or not strictly increasing, which is a
+// programming error in the caller's configuration.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) == 0 {
+		panic("stats: histogram needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must be strictly increasing")
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Histogram{
+		edges:  e,
+		counts: make([]int64, len(edges)+1),
+	}
+}
+
+// NewLogHistogram builds a histogram with logarithmically spaced edges from
+// lo to hi using n buckets. Useful for heavy-tailed flow sizes.
+func NewLogHistogram(lo, hi float64, n int) *Histogram {
+	if lo <= 0 || hi <= lo || n < 1 {
+		panic("stats: invalid log histogram parameters")
+	}
+	edges := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range edges {
+		edges[i] = v
+		v *= ratio
+	}
+	edges[n-1] = hi // avoid drift from repeated multiplication
+	return NewHistogram(edges)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	i := sort.SearchFloat64s(h.edges, v)
+	h.counts[i]++
+	h.total++
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bucket returns the count for bucket i (the overflow bucket is the last).
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Quantile estimates the q-th quantile (q in [0,1]) assuming values are
+// uniform within buckets. Returns 0 if the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.edges[i-1]
+			}
+			hi := lo
+			if i < len(h.edges) {
+				hi = h.edges[i]
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.edges[len(h.edges)-1]
+}
+
+// String renders a compact ASCII view of the bucket counts, mostly for
+// debugging and example programs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.counts {
+		var label string
+		if i < len(h.edges) {
+			label = fmt.Sprintf("<=%.3g", h.edges[i])
+		} else {
+			label = fmt.Sprintf(">%.3g", h.edges[len(h.edges)-1])
+		}
+		bar := strings.Repeat("#", int(40*c/maxCount))
+		fmt.Fprintf(&b, "%12s %8d %s\n", label, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for _, v := range []float64{5, 10, 15, 25, 35, 100} {
+		h.Add(v)
+	}
+	// Buckets: <=10, <=20, <=30, >30.
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if got := h.Bucket(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("NumBuckets = %d, want 4", h.NumBuckets())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	// 100 values uniform in (0, 40].
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i) * 0.4)
+	}
+	med := h.Quantile(0.5)
+	if med < 15 || med > 25 {
+		t.Fatalf("median estimate %g, want ~20", med)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 1024, 11)
+	if h.NumBuckets() != 12 {
+		t.Fatalf("NumBuckets = %d, want 12", h.NumBuckets())
+	}
+	h.Add(1024)
+	if h.Bucket(10) != 1 {
+		t.Fatal("value at hi edge should land in final non-overflow bucket")
+	}
+	h.Add(2048)
+	if h.Bucket(11) != 1 {
+		t.Fatal("value above hi should land in overflow bucket")
+	}
+	// Edges must be geometric: ratio between consecutive edges constant.
+	ratio := math.Pow(1024, 1.0/10)
+	prev := 1.0
+	for i := 1; i < 11; i++ {
+		prev *= ratio
+		_ = prev
+	}
+}
+
+func TestHistogramPanicsOnBadEdges(t *testing.T) {
+	cases := [][]float64{nil, {}, {2, 1}, {1, 1}}
+	for _, edges := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(3)
+	s := h.String()
+	if !strings.Contains(s, "<=1") || !strings.Contains(s, ">2") {
+		t.Fatalf("String output missing labels: %q", s)
+	}
+}

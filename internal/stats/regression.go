@@ -1,0 +1,122 @@
+package stats
+
+import "math"
+
+// LinearFit is the result of an ordinary-least-squares fit y = Intercept +
+// Slope*x. It is the core of the queue-stability detector: the paper judges
+// a queue unstable when its length "keeps growing in macroscale" over the
+// observation window, which we operationalize as a significantly positive
+// slope relative to the series' own scale.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination, 0 for degenerate fits
+	N         int
+}
+
+// FitLine performs an OLS fit of y against x. The slices must have equal
+// length; with fewer than two points the fit is degenerate (zero slope,
+// intercept = mean).
+func FitLine(x, y []float64) LinearFit {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n == 0 {
+		return LinearFit{}
+	}
+	if n == 1 {
+		return LinearFit{Intercept: y[0], N: 1}
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{Intercept: my, N: n}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         n,
+	}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit
+}
+
+// FitSeries fits a line to y against implicit x = 0, 1, 2, ....
+func FitSeries(y []float64) LinearFit {
+	x := make([]float64, len(y))
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return FitLine(x, y)
+}
+
+// TrendVerdict classifies a time series as stable or growing.
+type TrendVerdict int
+
+// Trend classifications. A series is Growing when it drifts upward across
+// the window at a rate that is large relative to its own average level;
+// otherwise it is Stable. Empty or flat series are Stable.
+const (
+	TrendStable TrendVerdict = iota + 1
+	TrendGrowing
+)
+
+// String returns a human-readable verdict.
+func (v TrendVerdict) String() string {
+	switch v {
+	case TrendStable:
+		return "stable"
+	case TrendGrowing:
+		return "growing"
+	default:
+		return "unknown"
+	}
+}
+
+// TrendReport carries the verdict together with the evidence.
+type TrendReport struct {
+	Verdict TrendVerdict
+	Fit     LinearFit
+	// GrowthRatio is (predicted end - predicted start) / mean level: how
+	// many multiples of the average level the series gained across the
+	// window. Large positive values indicate macro-scale growth.
+	GrowthRatio float64
+	// MeanLevel is the average of the series.
+	MeanLevel float64
+}
+
+// ClassifyTrend decides whether series grows in macro-scale across its
+// window. threshold is the minimum GrowthRatio considered growth; the paper
+// observes unstable queues growing without bound over 500 s, which at any
+// sensible sampling shows ratios well above 0.5.
+func ClassifyTrend(series []float64, threshold float64) TrendReport {
+	fit := FitSeries(series)
+	mean := Mean(series)
+	report := TrendReport{Verdict: TrendStable, Fit: fit, MeanLevel: mean}
+	if fit.N < 2 || mean <= 0 {
+		return report
+	}
+	span := fit.Slope * float64(fit.N-1)
+	report.GrowthRatio = span / mean
+	// Require both a material growth ratio and a fit that actually tracks
+	// an upward drift (guards against a single spike dominating the mean).
+	if report.GrowthRatio > threshold && fit.Slope > 0 && !math.IsNaN(fit.R2) && fit.R2 > 0.2 {
+		report.Verdict = TrendGrowing
+	}
+	return report
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit := FitLine(x, y)
+	if math.Abs(fit.Slope-2) > 1e-12 {
+		t.Fatalf("Slope = %g, want 2", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("Intercept = %g, want 1", fit.Intercept)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %g, want 1", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if fit := FitLine(nil, nil); fit.N != 0 || fit.Slope != 0 {
+		t.Fatalf("empty fit = %+v, want zero", fit)
+	}
+	if fit := FitLine([]float64{3}, []float64{7}); fit.Intercept != 7 || fit.Slope != 0 {
+		t.Fatalf("single-point fit = %+v", fit)
+	}
+	// All x identical: slope undefined, fall back to mean intercept.
+	fit := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if fit.Slope != 0 || math.Abs(fit.Intercept-2) > 1e-12 {
+		t.Fatalf("vertical fit = %+v, want slope 0 intercept 2", fit)
+	}
+}
+
+func TestFitSeriesNoisy(t *testing.T) {
+	r := NewRNG(77)
+	y := make([]float64, 500)
+	for i := range y {
+		y[i] = 10 + 0.5*float64(i) + r.Norm(0, 2)
+	}
+	fit := FitSeries(y)
+	if math.Abs(fit.Slope-0.5) > 0.05 {
+		t.Fatalf("noisy slope = %g, want ~0.5", fit.Slope)
+	}
+	if fit.R2 < 0.9 {
+		t.Fatalf("noisy R2 = %g, want > 0.9", fit.R2)
+	}
+}
+
+func TestClassifyTrendGrowing(t *testing.T) {
+	// A queue that ramps linearly: unmistakably unstable.
+	y := make([]float64, 300)
+	for i := range y {
+		y[i] = float64(i) * 100
+	}
+	rep := ClassifyTrend(y, 0.5)
+	if rep.Verdict != TrendGrowing {
+		t.Fatalf("ramp classified %v (ratio %g), want growing", rep.Verdict, rep.GrowthRatio)
+	}
+}
+
+func TestClassifyTrendStable(t *testing.T) {
+	r := NewRNG(99)
+	// A queue fluctuating around a fixed level.
+	y := make([]float64, 300)
+	for i := range y {
+		y[i] = 1000 + r.Norm(0, 100)
+	}
+	rep := ClassifyTrend(y, 0.5)
+	if rep.Verdict != TrendStable {
+		t.Fatalf("stationary series classified %v (ratio %g), want stable", rep.Verdict, rep.GrowthRatio)
+	}
+}
+
+func TestClassifyTrendEdgeCases(t *testing.T) {
+	if rep := ClassifyTrend(nil, 0.5); rep.Verdict != TrendStable {
+		t.Fatalf("empty series = %v, want stable", rep.Verdict)
+	}
+	if rep := ClassifyTrend([]float64{5}, 0.5); rep.Verdict != TrendStable {
+		t.Fatalf("singleton series = %v, want stable", rep.Verdict)
+	}
+	// All zeros: mean level zero must not divide by zero.
+	if rep := ClassifyTrend(make([]float64, 10), 0.5); rep.Verdict != TrendStable {
+		t.Fatalf("zero series = %v, want stable", rep.Verdict)
+	}
+}
+
+func TestTrendVerdictString(t *testing.T) {
+	if TrendStable.String() != "stable" || TrendGrowing.String() != "growing" {
+		t.Fatal("verdict strings wrong")
+	}
+	if TrendVerdict(0).String() != "unknown" {
+		t.Fatal("zero verdict should be unknown")
+	}
+}
+
+func TestClassifyTrendSpikeIsNotGrowth(t *testing.T) {
+	// A single late spike should not flag growth: R2 gate catches it.
+	y := make([]float64, 200)
+	for i := range y {
+		y[i] = 100
+	}
+	y[199] = 1e6
+	rep := ClassifyTrend(y, 0.5)
+	if rep.Verdict != TrendStable {
+		t.Fatalf("single spike classified %v, want stable", rep.Verdict)
+	}
+}

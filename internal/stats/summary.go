@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming first- and second-moment statistics using
+// Welford's numerically stable online algorithm, plus min/max tracking.
+// The zero value is ready to use.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another summary into s, as if every observation of other had
+// been Added to s (Chan et al. parallel variance formula).
+func (s *Summary) Merge(other Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = other
+		return
+	}
+	delta := other.mean - s.mean
+	total := s.n + other.n
+	s.mean += delta * float64(other.n) / float64(total)
+	s.m2 += other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(total)
+	s.n = total
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Percentile returns the p-th percentile (p in [0, 100]) of values using
+// linear interpolation between closest ranks. It does not modify values.
+// It returns 0 for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentilesSorted computes several percentiles in one pass over an
+// already-sorted slice. ps are percentile ranks in [0, 100].
+func PercentilesSorted(sorted []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// Mean returns the arithmetic mean of values, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	// Population variance of that classic set is 4; unbiased sample
+	// variance is 32/7.
+	if got, want := s.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %g, want %g", got, want)
+	}
+	if got := s.Min(); got != 2 {
+		t.Fatalf("Min = %g, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Fatalf("Max = %g, want 9", got)
+	}
+	if got := s.Sum(); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("Sum = %g, want 40", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Count() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	f := func(aRaw, bRaw []int32) bool {
+		// Scale to a realistic magnitude; float64 extremes overflow any
+		// second-moment computation and are not meaningful inputs here.
+		a := make([]float64, len(aRaw))
+		for i, v := range aRaw {
+			a[i] = float64(v) / 1000
+		}
+		b := make([]float64, len(bRaw))
+		for i, v := range bRaw {
+			b[i] = float64(v) / 1000
+		}
+		var merged, left, right Summary
+		for _, v := range a {
+			left.Add(v)
+			merged.Add(v)
+		}
+		for _, v := range b {
+			right.Add(v)
+			merged.Add(v)
+		}
+		var via Summary
+		via.Merge(left)
+		via.Merge(right)
+		if via.Count() != merged.Count() {
+			return false
+		}
+		if merged.Count() == 0 {
+			return true
+		}
+		closeEnough := func(x, y float64) bool {
+			scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+			return math.Abs(x-y) <= 1e-6*scale
+		}
+		return closeEnough(via.Mean(), merged.Mean()) &&
+			closeEnough(via.Variance(), merged.Variance()) &&
+			via.Min() == merged.Min() && via.Max() == merged.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	values := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+		{90, 46}, // interpolated between 40 and 50 at rank 3.6
+	}
+	for _, tt := range tests {
+		if got := Percentile(values, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if values[0] != 15 || values[4] != 50 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestPercentilesSorted(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := PercentilesSorted(sorted, 0, 50, 99, 100)
+	want := []float64{1, 5.5, 9.91, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("PercentilesSorted[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %g, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	r := NewRNG(31)
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = r.Float64() * 1000
+	}
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(values, a) <= Percentile(values, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package switchsim simulates the paper's slotted input-queued switch model
+// (Section III-B): N ingress and N egress ports, unit-length packets, one
+// packet per port per slot under the crossbar constraint, and flow arrivals
+// whose packets appear all at once. It implements the queue evolution of
+// Eq. (1) and is the substrate for the Figure 1 instability example, the
+// Theorem 1 validation experiments, and the DTMC ground truth.
+package switchsim
+
+import (
+	"fmt"
+	"math"
+
+	"basrpt/internal/stats"
+)
+
+// FlowArrival is one flow appearing at the beginning of a slot: Packets
+// packets entering VOQ (Src, Dst). (The paper places arrivals at slot ends;
+// shifting them to the next slot's beginning is the same process with
+// re-indexed slots and keeps the step loop simple.)
+type FlowArrival struct {
+	Slot    int64
+	Src     int
+	Dst     int
+	Packets int
+}
+
+// ArrivalProcess produces the flows arriving at the beginning of each slot.
+type ArrivalProcess interface {
+	// Arrivals returns the flows arriving at the beginning of slot t.
+	// It is called exactly once per slot, with t increasing from 0.
+	Arrivals(t int64) []FlowArrival
+}
+
+// ScriptedArrivals replays a fixed arrival list — the Figure 1 example and
+// unit tests use this.
+type ScriptedArrivals struct {
+	bySlot map[int64][]FlowArrival
+}
+
+var _ ArrivalProcess = (*ScriptedArrivals)(nil)
+
+// NewScriptedArrivals indexes the given arrivals by slot.
+func NewScriptedArrivals(arrivals []FlowArrival) *ScriptedArrivals {
+	s := &ScriptedArrivals{bySlot: make(map[int64][]FlowArrival)}
+	for _, a := range arrivals {
+		s.bySlot[a.Slot] = append(s.bySlot[a.Slot], a)
+	}
+	return s
+}
+
+// Arrivals returns the scripted flows for slot t.
+func (s *ScriptedArrivals) Arrivals(t int64) []FlowArrival {
+	return s.bySlot[t]
+}
+
+// BernoulliArrivals is the i.i.d. arrival process of the paper's analysis:
+// independently for each VOQ (i, j) and each slot, a flow arrives with
+// probability Prob[i][j] and carries a random positive number of packets.
+// The per-VOQ mean rate is λij = Prob[i][j] · E[Sizes], and second moments
+// are bounded because Sizes is bounded — matching the E[A²] ≤ B assumption.
+type BernoulliArrivals struct {
+	prob  [][]float64
+	sizes stats.Sampler
+	rng   *stats.RNG
+}
+
+var _ ArrivalProcess = (*BernoulliArrivals)(nil)
+
+// NewBernoulliArrivals validates the probability matrix and builds the
+// process. Sizes samples flow sizes in packets; draws are rounded to the
+// nearest packet with a floor of 1. RateMatrix assumes the rounded mean
+// tracks the sampler's mean, which holds exactly for constant sizes and
+// for uniform distributions spanning whole packets.
+func NewBernoulliArrivals(prob [][]float64, sizes stats.Sampler, seed uint64) (*BernoulliArrivals, error) {
+	n := len(prob)
+	if n == 0 {
+		return nil, fmt.Errorf("switchsim: empty probability matrix")
+	}
+	for i, row := range prob {
+		if len(row) != n {
+			return nil, fmt.Errorf("switchsim: probability row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, p := range row {
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("switchsim: probability [%d][%d] = %g outside [0,1]", i, j, p)
+			}
+		}
+	}
+	if sizes == nil {
+		return nil, fmt.Errorf("switchsim: nil size sampler")
+	}
+	cp := make([][]float64, n)
+	for i := range cp {
+		cp[i] = make([]float64, n)
+		copy(cp[i], prob[i])
+	}
+	return &BernoulliArrivals{prob: cp, sizes: sizes, rng: stats.NewRNG(seed)}, nil
+}
+
+// Arrivals draws this slot's flows.
+func (b *BernoulliArrivals) Arrivals(t int64) []FlowArrival {
+	var out []FlowArrival
+	for i := range b.prob {
+		for j, p := range b.prob[i] {
+			if p > 0 && b.rng.Float64() < p {
+				size := int(math.Floor(b.sizes.Sample(b.rng) + 0.5))
+				if size < 1 {
+					size = 1
+				}
+				out = append(out, FlowArrival{Slot: t, Src: i, Dst: j, Packets: size})
+			}
+		}
+	}
+	return out
+}
+
+// RateMatrix returns λij = Prob[i][j] · E[Sizes] in packets per slot, for
+// admissibility checks against paper Eq. (2).
+func (b *BernoulliArrivals) RateMatrix() [][]float64 {
+	mean := b.sizes.Mean()
+	if mean < 1 {
+		mean = 1
+	}
+	out := make([][]float64, len(b.prob))
+	for i := range out {
+		out[i] = make([]float64, len(b.prob))
+		for j := range out[i] {
+			out[i][j] = b.prob[i][j] * mean
+		}
+	}
+	return out
+}
+
+// BurstyArrivals modulates a BernoulliArrivals process with a two-state
+// (on/off) Markov chain, keeping the long-run mean rate equal to the base
+// process while concentrating arrivals into bursts. The paper's Theorem 1
+// discussion notes that serious burstiness near capacity parks the queue
+// at a large value even for stable schedulers; this process makes that
+// observable: burstiness raises the standing backlog at identical mean
+// load.
+//
+// In the on state arrivals occur with probability scaled by 1/OnFraction
+// (clamped at 1); in the off state nothing arrives. State persistence is
+// governed by the mean burst length.
+type BurstyArrivals struct {
+	base       *BernoulliArrivals
+	rng        *stats.RNG
+	on         bool
+	pStayOn    float64
+	pStayOff   float64
+	onFraction float64
+}
+
+var _ ArrivalProcess = (*BurstyArrivals)(nil)
+
+// NewBurstyArrivals wraps prob/sizes Bernoulli arrivals in an on/off
+// modulation. onFraction in (0, 1] is the long-run fraction of slots in
+// the on state; meanBurstSlots >= 1 is the expected on-period length.
+// onFraction = 1 degenerates to the plain process.
+func NewBurstyArrivals(prob [][]float64, sizes stats.Sampler, onFraction, meanBurstSlots float64, seed uint64) (*BurstyArrivals, error) {
+	if onFraction <= 0 || onFraction > 1 {
+		return nil, fmt.Errorf("switchsim: on fraction %g outside (0, 1]", onFraction)
+	}
+	if meanBurstSlots < 1 {
+		return nil, fmt.Errorf("switchsim: mean burst %g below one slot", meanBurstSlots)
+	}
+	scale := 1 / onFraction
+	// The scaled per-slot probabilities must stay valid.
+	scaled := make([][]float64, len(prob))
+	for i, row := range prob {
+		scaled[i] = make([]float64, len(row))
+		for j, p := range row {
+			sp := p * scale
+			if sp > 1 {
+				return nil, fmt.Errorf("switchsim: bursty probability [%d][%d] = %g > 1 (reduce load or raise on fraction)", i, j, sp)
+			}
+			scaled[i][j] = sp
+		}
+	}
+	rng := stats.NewRNG(seed)
+	base, err := NewBernoulliArrivals(scaled, sizes, rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	// Mean on-period = 1/(1-pStayOn) => pStayOn = 1 - 1/meanBurst.
+	pStayOn := 1 - 1/meanBurstSlots
+	// Stationary on-fraction f = pOffToOn / (pOffToOn + pOnToOff):
+	// solve pStayOff from f and pStayOn.
+	pOnToOff := 1 - pStayOn
+	pOffToOn := onFraction * pOnToOff / (1 - onFraction + 1e-15)
+	if pOffToOn > 1 {
+		pOffToOn = 1
+	}
+	return &BurstyArrivals{
+		base:       base,
+		rng:        rng,
+		on:         true,
+		pStayOn:    pStayOn,
+		pStayOff:   1 - pOffToOn,
+		onFraction: onFraction,
+	}, nil
+}
+
+// Arrivals steps the modulating chain and draws from the base process only
+// in the on state.
+func (b *BurstyArrivals) Arrivals(t int64) []FlowArrival {
+	if b.on {
+		if b.rng.Float64() >= b.pStayOn {
+			b.on = false
+		}
+	} else if b.rng.Float64() >= b.pStayOff {
+		b.on = true
+	}
+	if !b.on {
+		return nil
+	}
+	return b.base.Arrivals(t)
+}
+
+// MeanRateMatrix returns the long-run λij (the base matrix scaled back by
+// the on fraction).
+func (b *BurstyArrivals) MeanRateMatrix() [][]float64 {
+	m := b.base.RateMatrix()
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] *= b.onFraction
+		}
+	}
+	return m
+}
+
+// UniformLoadProb builds a probability matrix that offers the given
+// per-port packet load (pkt/slot) spread uniformly over all off-diagonal
+// VOQs, for flows with mean size meanPackets. It returns an error when the
+// requested load is infeasible for Bernoulli arrivals (probability > 1).
+func UniformLoadProb(n int, load, meanPackets float64) ([][]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("switchsim: need at least 2 ports, got %d", n)
+	}
+	if load <= 0 || load > 1 {
+		return nil, fmt.Errorf("switchsim: per-port load %g outside (0, 1]", load)
+	}
+	if meanPackets < 1 {
+		return nil, fmt.Errorf("switchsim: mean size %g below one packet", meanPackets)
+	}
+	// p = load / ((n-1) * mean) <= 1 always holds given the validations
+	// above (load <= 1, n >= 2, mean >= 1).
+	p := load / float64(n-1) / meanPackets
+	prob := make([][]float64, n)
+	for i := range prob {
+		prob[i] = make([]float64, n)
+		for j := range prob[i] {
+			if i != j {
+				prob[i][j] = p
+			}
+		}
+	}
+	return prob, nil
+}

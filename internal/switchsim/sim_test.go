@@ -1,0 +1,503 @@
+package switchsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"basrpt/internal/birkhoff"
+	"basrpt/internal/flow"
+	"basrpt/internal/sched"
+	"basrpt/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	arr := NewScriptedArrivals(nil)
+	cases := []Config{
+		{N: 0, Scheduler: sched.NewSRPT(), Arrivals: arr},
+		{N: 2, Scheduler: nil, Arrivals: arr},
+		{N: 2, Scheduler: sched.NewSRPT(), Arrivals: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestScriptedArrivals(t *testing.T) {
+	s := NewScriptedArrivals([]FlowArrival{
+		{Slot: 0, Src: 0, Dst: 1, Packets: 3},
+		{Slot: 0, Src: 1, Dst: 0, Packets: 1},
+		{Slot: 5, Src: 0, Dst: 1, Packets: 2},
+	})
+	if got := len(s.Arrivals(0)); got != 2 {
+		t.Fatalf("slot 0 arrivals = %d, want 2", got)
+	}
+	if got := len(s.Arrivals(1)); got != 0 {
+		t.Fatalf("slot 1 arrivals = %d, want 0", got)
+	}
+	if got := len(s.Arrivals(5)); got != 1 {
+		t.Fatalf("slot 5 arrivals = %d, want 1", got)
+	}
+}
+
+func TestSingleFlowDrainsOnePacketPerSlot(t *testing.T) {
+	sim, err := New(Config{
+		N:         2,
+		Scheduler: sched.NewSRPT(),
+		Arrivals: NewScriptedArrivals([]FlowArrival{
+			{Slot: 0, Src: 0, Dst: 1, Packets: 3},
+		}),
+		ValidateDecisions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.DepartedPackets(); got != 3 {
+		t.Fatalf("departed = %g, want 3", got)
+	}
+	if got := sim.CompletedFlows(); got != 1 {
+		t.Fatalf("completed = %d, want 1", got)
+	}
+	// Arrived slot 0, finished during slot 2 -> FCT 3 slots.
+	cs := sim.FCT().Stats(flow.ClassOther)
+	if cs.Count != 1 || math.Abs(cs.MeanMs-3000) > 1e-9 { // 3 "seconds" in ms
+		t.Fatalf("FCT stats = %+v, want one 3-slot completion", cs)
+	}
+	if got := sim.Backlog(); got != 0 {
+		t.Fatalf("backlog = %g, want 0", got)
+	}
+}
+
+// TestFig1SRPTLeavesOnePacket reproduces the paper's Figure 1(b): under
+// SRPT the two 1-packet flows preempt f1's ports in consecutive slots and
+// f1 still holds a packet after 6 slots, even though total offered load
+// fits in 6 slots per bottleneck.
+func TestFig1SRPTLeavesOnePacket(t *testing.T) {
+	// Ports: 0 = host A (src of f1, f2), 1 = host D (src of f3),
+	// 2 = host B (dst of f2), 3 = host C (dst of f1, f3).
+	arrivals := []FlowArrival{
+		{Slot: 0, Src: 0, Dst: 3, Packets: 5}, // f1
+		{Slot: 0, Src: 0, Dst: 2, Packets: 1}, // f2
+		{Slot: 1, Src: 1, Dst: 3, Packets: 1}, // f3
+	}
+	sim, err := New(Config{
+		N:                 4,
+		Scheduler:         sched.NewSRPT(),
+		Arrivals:          NewScriptedArrivals(arrivals),
+		ValidateDecisions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Backlog(); got != 1 {
+		t.Fatalf("SRPT backlog after 6 slots = %g, want 1", got)
+	}
+	if got := sim.CompletedFlows(); got != 2 {
+		t.Fatalf("completed = %d, want 2 (f2, f3)", got)
+	}
+}
+
+// TestFig1BacklogAwareCompletesAll reproduces Figure 1(c): a backlog-aware
+// discipline (fast BASRPT with small V) gives f1 the early slots, the two
+// short flows still finish, and all 7 packets leave within 6 slots.
+func TestFig1BacklogAwareCompletesAll(t *testing.T) {
+	arrivals := []FlowArrival{
+		{Slot: 0, Src: 0, Dst: 3, Packets: 5},
+		{Slot: 0, Src: 0, Dst: 2, Packets: 1},
+		{Slot: 1, Src: 1, Dst: 3, Packets: 1},
+	}
+	sim, err := New(Config{
+		N:                 4,
+		Scheduler:         sched.NewFastBASRPT(2),
+		Arrivals:          NewScriptedArrivals(arrivals),
+		ValidateDecisions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Backlog(); got != 0 {
+		t.Fatalf("backlog-aware backlog after 6 slots = %g, want 0", got)
+	}
+	if got := sim.CompletedFlows(); got != 3 {
+		t.Fatalf("completed = %d, want 3", got)
+	}
+	// Throughput gain: 7 packets in 6 slots vs SRPT's 6.
+	if got := sim.DepartedPackets(); got != 7 {
+		t.Fatalf("departed = %g, want 7", got)
+	}
+}
+
+func TestOnSlotObservesDecisions(t *testing.T) {
+	var slots []int64
+	var sizes []int
+	sim, err := New(Config{
+		N:         2,
+		Scheduler: sched.NewSRPT(),
+		Arrivals: NewScriptedArrivals([]FlowArrival{
+			{Slot: 0, Src: 0, Dst: 1, Packets: 2},
+		}),
+		OnSlot: func(t int64, decision []*flow.Flow) {
+			slots = append(slots, t)
+			sizes = append(sizes, len(decision))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 3 || slots[2] != 2 {
+		t.Fatalf("OnSlot calls = %v", slots)
+	}
+	if sizes[0] != 1 || sizes[1] != 1 || sizes[2] != 0 {
+		t.Fatalf("decision sizes = %v, want [1 1 0]", sizes)
+	}
+}
+
+func TestBernoulliArrivalsValidation(t *testing.T) {
+	sizes := stats.Constant{Value: 2}
+	if _, err := NewBernoulliArrivals(nil, sizes, 1); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := NewBernoulliArrivals([][]float64{{0.5}}, nil, 1); err == nil {
+		t.Fatal("nil sampler accepted")
+	}
+	if _, err := NewBernoulliArrivals([][]float64{{1.5}}, sizes, 1); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := NewBernoulliArrivals([][]float64{{0.1, 0.2}}, sizes, 1); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestBernoulliRateMatrixMatchesEmpirical(t *testing.T) {
+	prob := [][]float64{
+		{0, 0.2},
+		{0.1, 0},
+	}
+	arr, err := NewBernoulliArrivals(prob, stats.Constant{Value: 3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := arr.RateMatrix()
+	if math.Abs(want[0][1]-0.6) > 1e-12 || math.Abs(want[1][0]-0.3) > 1e-12 {
+		t.Fatalf("RateMatrix = %v", want)
+	}
+	const slots = 200000
+	got := [][]float64{{0, 0}, {0, 0}}
+	for t := int64(0); t < slots; t++ {
+		for _, a := range arr.Arrivals(t) {
+			got[a.Src][a.Dst] += float64(a.Packets)
+		}
+	}
+	for i := range got {
+		for j := range got[i] {
+			rate := got[i][j] / slots
+			if math.Abs(rate-want[i][j]) > 0.02 {
+				t.Fatalf("empirical rate[%d][%d] = %g, want %g", i, j, rate, want[i][j])
+			}
+		}
+	}
+}
+
+func TestUniformLoadProb(t *testing.T) {
+	prob, err := UniformLoadProb(4, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewBernoulliArrivals(prob, stats.Constant{Value: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := arr.RateMatrix()
+	rows, cols := birkhoff.LineSums(lambda)
+	for i := range rows {
+		if math.Abs(rows[i]-0.8) > 1e-9 || math.Abs(cols[i]-0.8) > 1e-9 {
+			t.Fatalf("line sums = %v / %v, want 0.8", rows, cols)
+		}
+	}
+	if _, err := UniformLoadProb(1, 0.5, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := UniformLoadProb(4, 1.5, 1); err == nil {
+		t.Fatal("load > 1 accepted")
+	}
+	if _, err := UniformLoadProb(4, 0.5, 0.2); err == nil {
+		t.Fatal("sub-packet mean accepted")
+	}
+}
+
+// TestConservation: arrived = departed + backlog at every checkpoint, for
+// random loads and schedulers.
+func TestConservation(t *testing.T) {
+	schedulers := []sched.Scheduler{
+		sched.NewSRPT(),
+		sched.NewFastBASRPT(100),
+		sched.NewMaxWeight(),
+	}
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(4)
+		prob, err := UniformLoadProb(n, 0.3+r.Float64()*0.6, 2)
+		if err != nil {
+			return false
+		}
+		arr, err := NewBernoulliArrivals(prob, stats.Uniform{Lo: 1, Hi: 5}, seed)
+		if err != nil {
+			return false
+		}
+		sim, err := New(Config{
+			N:                 n,
+			Scheduler:         schedulers[seed%uint64(len(schedulers))],
+			Arrivals:          arr,
+			ValidateDecisions: true,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if err := sim.Step(); err != nil {
+				return false
+			}
+			if math.Abs(sim.ArrivedPackets()-sim.DepartedPackets()-sim.Backlog()) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkConservingUnderLoad: with a single-VOQ workload the switch
+// transmits exactly one packet per slot while the queue is non-empty.
+func TestWorkConservingUnderLoad(t *testing.T) {
+	sim, err := New(Config{
+		N:         2,
+		Scheduler: sched.NewSRPT(),
+		Arrivals: NewScriptedArrivals([]FlowArrival{
+			{Slot: 0, Src: 0, Dst: 1, Packets: 10},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if got := sim.DepartedPackets(); got != float64(i+1) {
+			t.Fatalf("slot %d: departed = %g, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestMaxWeightStabilizesHighLoad: under 90% uniform load the MaxWeight and
+// fast-BASRPT backlogs stay bounded while the series' growth ratio stays
+// small. (Statistical, but the margin is wide at these sizes.)
+func TestStabilityAtHighLoadForBacklogAware(t *testing.T) {
+	const n = 4
+	prob, err := UniformLoadProb(n, 0.9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []sched.Scheduler{sched.NewMaxWeight(), sched.NewFastBASRPT(50)} {
+		arr, err := NewBernoulliArrivals(prob, stats.Uniform{Lo: 1, Hi: 3.001}, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(Config{N: n, Scheduler: s, Arrivals: arr, SampleEvery: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(30000); err != nil {
+			t.Fatal(err)
+		}
+		rep := sim.TotalBacklogSeries().Trend(1.0)
+		if rep.Verdict.String() != "stable" {
+			t.Fatalf("%s backlog growing at 0.9 load: ratio %.2f mean %.1f",
+				s.Name(), rep.GrowthRatio, rep.MeanLevel)
+		}
+	}
+}
+
+func TestLyapunovValue(t *testing.T) {
+	sim, err := New(Config{
+		N:         2,
+		Scheduler: sched.NewSRPT(),
+		Arrivals: NewScriptedArrivals([]FlowArrival{
+			{Slot: 0, Src: 0, Dst: 1, Packets: 3},
+			{Slot: 0, Src: 1, Dst: 0, Packets: 4},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any step, queues are empty.
+	if got := sim.LyapunovValue(); got != 0 {
+		t.Fatalf("initial L = %g", got)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// After slot 0 both flows transmitted one packet: backlogs 2 and 3.
+	if got, want := sim.LyapunovValue(), (2.0*2+3.0*3)/2; got != want {
+		t.Fatalf("L = %g, want %g", got, want)
+	}
+}
+
+func TestBurstyArrivalsValidation(t *testing.T) {
+	prob, err := UniformLoadProb(3, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := stats.Constant{Value: 2}
+	if _, err := NewBurstyArrivals(prob, sizes, 0, 5, 1); err == nil {
+		t.Fatal("zero on-fraction accepted")
+	}
+	if _, err := NewBurstyArrivals(prob, sizes, 1.5, 5, 1); err == nil {
+		t.Fatal("on-fraction > 1 accepted")
+	}
+	if _, err := NewBurstyArrivals(prob, sizes, 0.5, 0.5, 1); err == nil {
+		t.Fatal("sub-slot burst accepted")
+	}
+	// Scaling 0.9 load by 1/0.1 would exceed probability 1.
+	hot, err := UniformLoadProb(2, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBurstyArrivals(hot, stats.Constant{Value: 1}, 0.1, 5, 1); err == nil {
+		t.Fatal("invalid scaled probability accepted")
+	}
+}
+
+func TestBurstyMeanRatePreserved(t *testing.T) {
+	prob, err := UniformLoadProb(3, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewBurstyArrivals(prob, stats.Uniform{Lo: 1, Hi: 3.001}, 0.4, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := arr.MeanRateMatrix()
+	const slots = 400000
+	got := make([][]float64, 3)
+	for i := range got {
+		got[i] = make([]float64, 3)
+	}
+	for s := int64(0); s < slots; s++ {
+		for _, a := range arr.Arrivals(s) {
+			got[a.Src][a.Dst] += float64(a.Packets)
+		}
+	}
+	for i := range got {
+		for j := range got[i] {
+			rate := got[i][j] / slots
+			if math.Abs(rate-want[i][j]) > 0.03 {
+				t.Fatalf("rate[%d][%d] = %g, want ~%g", i, j, rate, want[i][j])
+			}
+		}
+	}
+}
+
+// TestBurstinessRaisesBacklog: identical mean load, burstier arrivals ->
+// larger standing backlog under the same stable scheduler (the paper's
+// Section IV-B burstiness observation).
+func TestBurstinessRaisesBacklog(t *testing.T) {
+	const n = 4
+	prob, err := UniformLoadProb(n, 0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := stats.Uniform{Lo: 1, Hi: 3.001}
+	run := func(arr ArrivalProcess) float64 {
+		sim, err := New(Config{
+			N:           n,
+			Scheduler:   sched.NewFastBASRPT(50),
+			Arrivals:    arr,
+			SampleEvery: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(60000); err != nil {
+			t.Fatal(err)
+		}
+		return sim.TotalBacklogSeries().Mean()
+	}
+	smooth, err := NewBernoulliArrivals(prob, sizes, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := NewBurstyArrivals(prob, sizes, 0.75, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothBacklog := run(smooth)
+	burstyBacklog := run(bursty)
+	if burstyBacklog <= smoothBacklog {
+		t.Fatalf("bursty backlog %g <= smooth %g", burstyBacklog, smoothBacklog)
+	}
+}
+
+// TestBirkhoffRandomStabilizesSlottedSwitch closes the loop on the paper's
+// Section IV-A existence argument: the randomized schedule built from the
+// arrival rate matrix (service rate >= lambda + epsilon per VOQ) keeps the
+// slotted switch stable at high admissible load, despite being oblivious
+// to queue state.
+func TestBirkhoffRandomStabilizesSlottedSwitch(t *testing.T) {
+	const n = 4
+	prob, err := UniformLoadProb(n, 0.85, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := stats.Uniform{Lo: 1, Hi: 3.001}
+	probe, err := NewBernoulliArrivals(prob, sizes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduler, err := sched.NewBirkhoffRandom(probe.RateMatrix(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewBernoulliArrivals(prob, sizes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Config{
+		N:           n,
+		Scheduler:   scheduler,
+		Arrivals:    arr,
+		SampleEvery: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(40000); err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.TotalBacklogSeries().Trend(0.5)
+	if rep.Verdict != stats.TrendStable {
+		t.Fatalf("birkhoff-random backlog %s (ratio %.2f, mean %.1f)",
+			rep.Verdict, rep.GrowthRatio, rep.MeanLevel)
+	}
+	// Oblivious scheduling pays in backlog relative to MaxWeight but must
+	// still drain: conservation sanity.
+	if sim.DepartedPackets() == 0 {
+		t.Fatal("no departures")
+	}
+}
