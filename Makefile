@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover experiments stability fuzz clean
+.PHONY: all build test race vet bench cover experiments stability fuzz clean
 
 all: build test
 
@@ -11,6 +11,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 vet:
 	gofmt -l . && $(GO) vet ./...
@@ -35,7 +38,8 @@ fuzz:
 	$(GO) test -fuzz FuzzHungarianFeasible -fuzztime 15s ./internal/matching/
 	$(GO) test -fuzz FuzzEmpiricalCDFRoundTrip -fuzztime 15s ./internal/stats/
 	$(GO) test -fuzz FuzzPercentile -fuzztime 15s ./internal/stats/
+	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 15s ./internal/faults/
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/matching/testdata internal/stats/testdata
+	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata

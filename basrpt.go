@@ -34,6 +34,7 @@ package basrpt
 import (
 	"basrpt/internal/core"
 	"basrpt/internal/fabricsim"
+	"basrpt/internal/faults"
 	"basrpt/internal/flow"
 	"basrpt/internal/metrics"
 	"basrpt/internal/sched"
@@ -177,10 +178,39 @@ type (
 	FabricResult = fabricsim.Result
 	// FabricSim is one simulation instance.
 	FabricSim = fabricsim.Sim
+	// FabricWatchdog bounds a run (backlog divergence, wall clock).
+	FabricWatchdog = fabricsim.Watchdog
+	// FabricDiagnosis explains a watchdog-truncated run.
+	FabricDiagnosis = fabricsim.Diagnosis
 )
 
 // NewFabricSim validates the configuration and prepares a run.
 func NewFabricSim(cfg FabricConfig) (*FabricSim, error) { return fabricsim.New(cfg) }
+
+// Fault injection (deterministic, seed-driven; see internal/faults).
+type (
+	// FaultParams parameterizes fault-schedule generation.
+	FaultParams = faults.Params
+	// FaultSchedule is a materialized fault plan, replayable across
+	// schedulers.
+	FaultSchedule = faults.Schedule
+	// FaultInjector answers the simulators' runtime fault queries.
+	FaultInjector = faults.Injector
+	// LinkFault is one access-link down/degraded window.
+	LinkFault = faults.LinkFault
+	// FaultWindow is one half-open fault interval.
+	FaultWindow = faults.Window
+	// FaultCounters tallies the fault events a run saw.
+	FaultCounters = metrics.FaultCounters
+)
+
+// GenerateFaults derives a deterministic fault schedule from params: the
+// same params yield a byte-identical schedule.
+func GenerateFaults(p FaultParams) (*FaultSchedule, error) { return faults.Generate(p) }
+
+// NewFaultInjector prepares a schedule for injection. Build one fresh
+// injector per run so runs sharing a schedule see identical loss draws.
+func NewFaultInjector(s *FaultSchedule) *FaultInjector { return faults.NewInjector(s) }
 
 // Slotted switch model (paper Eq. 1).
 type (
@@ -236,6 +266,9 @@ type (
 	// IncastResult compares schedulers under the partition/aggregate
 	// pattern.
 	IncastResult = core.IncastResult
+	// FaultsResult compares SRPT and fast BASRPT under identical injected
+	// fault schedules.
+	FaultsResult = core.FaultsResult
 )
 
 // Predefined experiment scales.
@@ -295,6 +328,13 @@ func RunNoise(scale Scale, v, load float64, levels []float64) (*NoiseResult, err
 // (incast) pattern.
 func RunIncast(scale Scale, v float64, fanout int, jobsPerSecond, backgroundLoad float64) (*IncastResult, error) {
 	return core.RunIncast(scale, v, fanout, jobsPerSecond, backgroundLoad)
+}
+
+// RunFaults compares SRPT and fast BASRPT under byte-identical workloads
+// and fault schedules (link faults plus a scheduler outage), reporting
+// per-class FCTs and backlog recovery time. Deterministic per faultSeed.
+func RunFaults(scale Scale, v float64, faultSeed uint64) (*FaultsResult, error) {
+	return core.RunFaults(scale, v, faultSeed)
 }
 
 // RunFig6 reproduces the Figure 6 load sweep (nil loads selects the

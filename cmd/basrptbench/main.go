@@ -6,8 +6,9 @@
 //	basrptbench -exp fig6 -v 2500
 //
 // Experiments: fig1, fig2, table1, fig5, fig6, fig7, fig8, theory, dtmc,
-// ablation, distributed, noise, all — plus the opt-in long-horizon
-// "stability" showcase. Pass -csvdir to also export the series/rows as CSV.
+// ablation, distributed, incast, noise, faults, all — plus the opt-in
+// long-horizon "stability" showcase. Pass -csvdir to also export the
+// series/rows as CSV.
 package main
 
 import (
@@ -33,7 +34,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("basrptbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment id (fig1|fig2|table1|fig5|fig6|fig7|fig8|theory|dtmc|ablation|distributed|incast|noise|all)")
+		exp       = fs.String("exp", "all", "experiment id (fig1|fig2|table1|fig5|fig6|fig7|fig8|theory|dtmc|ablation|distributed|incast|noise|faults|all)")
 		scaleName = fs.String("scale", "medium", "experiment scale (small|medium|paper)")
 		v         = fs.Float64("v", 0, "BASRPT tradeoff weight V (0 = paper default 2500)")
 		seed      = fs.Uint64("seed", 1, "random seed")
@@ -41,6 +42,7 @@ func run(args []string, w io.Writer) error {
 		racks     = fs.Int("racks", 0, "override rack count (0 = scale default)")
 		hosts     = fs.Int("hosts", 0, "override hosts per rack (0 = scale default)")
 		csvDir    = fs.String("csvdir", "", "when set, also export each experiment's series/rows as CSV into this directory")
+		faultSeed = fs.Uint64("faultseed", 1, "seed of the faults experiment's fault schedule")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -267,6 +269,22 @@ func run(args []string, w io.Writer) error {
 	if err := runExp([]string{"incast"}, func() (string, error) {
 		res, err := basrpt.RunIncast(scale, *v, 0, 0, 0)
 		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp([]string{"faults"}, func() (string, error) {
+		res, err := basrpt.RunFaults(scale, *v, *faultSeed)
+		if err != nil {
+			return "", err
+		}
+		if err := exportSeries(*csvDir, map[string]*basrpt.Series{
+			"faults_srpt_backlog_bytes": &res.SRPT.Result.TotalBacklogSeries,
+			"faults_fast_backlog_bytes": &res.Fast.Result.TotalBacklogSeries,
+		}); err != nil {
 			return "", err
 		}
 		return res.Render(), nil

@@ -3,6 +3,7 @@
 //
 //	basrptsim -scheduler fast-basrpt -v 2500 -load 0.95 -racks 4 -hosts 6 -duration 5
 //	basrptsim -scheduler srpt -load 0.6 -json
+//	basrptsim -scheduler srpt -load 0.8 -faults -faultseed 7   # inject link faults + a scheduler outage
 package main
 
 import (
@@ -37,6 +38,9 @@ type summary struct {
 	BgAvgMs        float64 `json:"backgroundAvgMs"`
 	BgP99Ms        float64 `json:"backgroundP99Ms"`
 	QueueVerdict   string  `json:"queueVerdict"`
+
+	Faults    *basrpt.FaultCounters   `json:"faults,omitempty"`
+	Diagnosis *basrpt.FabricDiagnosis `json:"diagnosis,omitempty"`
 }
 
 func run(args []string, w io.Writer) error {
@@ -54,6 +58,8 @@ func run(args []string, w io.Writer) error {
 		pattern   = fs.String("workload", "mixed", "traffic pattern: mixed (paper Section V-A) or incast (partition/aggregate)")
 		fanout    = fs.Int("fanout", 8, "incast: backends per job")
 		jobRate   = fs.Float64("jobs", 500, "incast: partition/aggregate jobs per second")
+		inject    = fs.Bool("faults", false, "inject a deterministic fault schedule (link faults + a scheduler outage)")
+		faultSeed = fs.Uint64("faultseed", 1, "seed of the injected fault schedule")
 		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,13 +104,28 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sim, err := basrpt.NewFabricSim(basrpt.FabricConfig{
+	cfg := basrpt.FabricConfig{
 		Hosts:     topo.NumHosts(),
 		LinkBps:   topo.HostLinkBps(),
 		Scheduler: scheduler,
 		Generator: gen,
 		Duration:  *duration,
-	})
+		Seed:      *seed,
+	}
+	if *inject {
+		schedule, err := basrpt.GenerateFaults(basrpt.FaultParams{
+			Seed:       *faultSeed,
+			Horizon:    *duration,
+			Ports:      topo.NumHosts(),
+			LinkFaults: 3,
+			Outages:    1,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Faults = basrpt.NewFaultInjector(schedule)
+	}
+	sim, err := basrpt.NewFabricSim(cfg)
 	if err != nil {
 		return err
 	}
@@ -130,6 +151,10 @@ func run(args []string, w io.Writer) error {
 		BgP99Ms:        bg.P99Ms,
 		QueueVerdict:   res.MaxPortSeries.Trend(basrpt.GrowthThreshold).Verdict.String(),
 	}
+	if res.Faults.Any() {
+		out.Faults = &res.Faults
+	}
+	out.Diagnosis = res.Diagnosis
 	if *jsonOut {
 		return trace.WriteJSON(w, out)
 	}
@@ -144,6 +169,13 @@ func run(args []string, w io.Writer) error {
 	tbl.AddRow("query FCT avg / 99th", trace.Ms(out.QueryAvgMs)+" / "+trace.Ms(out.QueryP99Ms)+" ms")
 	tbl.AddRow("background FCT avg / 99th", trace.Ms(out.BgAvgMs)+" / "+trace.Ms(out.BgP99Ms)+" ms")
 	tbl.AddRow("queue trend", out.QueueVerdict)
+	if c := out.Faults; c != nil {
+		tbl.AddRow("link faults seen", fmt.Sprintf("%d started / %d ended", c.LinkFaultStarts, c.LinkFaultEnds))
+		tbl.AddRow("scheduler outages", fmt.Sprintf("%d (held %d decisions)", c.OutageStarts, c.DecisionsHeld))
+	}
+	if d := out.Diagnosis; d != nil {
+		tbl.AddRow("watchdog", d.String())
+	}
 	fmt.Fprint(w, tbl.Render())
 	fmt.Fprintln(w)
 	fmt.Fprint(w, trace.Chart("max-port backlog (bytes)", &res.MaxPortSeries, 60, 8))

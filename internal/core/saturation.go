@@ -45,6 +45,7 @@ func runFabricQF(scale Scale, scheduler sched.Scheduler, load, queryFraction flo
 		Scheduler: scheduler,
 		Generator: gen,
 		Duration:  scale.Duration,
+		Seed:      scale.Seed,
 	})
 	if err != nil {
 		return nil, err

@@ -15,7 +15,9 @@ package fabricsim
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"basrpt/internal/faults"
 	"basrpt/internal/flow"
 	"basrpt/internal/metrics"
 	"basrpt/internal/sched"
@@ -58,7 +60,55 @@ type Config struct {
 	// accounting bugs (float drift, heap corruption). Expensive; used by
 	// tests and long validation runs.
 	DeepValidateEvery int64
+	// Seed is informational: it identifies the run in error messages and
+	// diagnoses so failed sweep points are replayable. It does not drive
+	// any randomness here (the generator and schedulers own their seeds).
+	Seed uint64
+	// Faults, when non-nil, injects the schedule's link faults (access
+	// links down or degraded for an interval, forcing reschedules at the
+	// boundaries) and scheduler outages (decisions served from the held
+	// matching via sched.OutageFallback). Build one fresh injector per run.
+	Faults *faults.Injector
+	// Watchdog, when non-nil, bounds the run and truncates it gracefully —
+	// partial Result plus Diagnosis — instead of running blind.
+	Watchdog *Watchdog
 }
+
+// Watchdog bounds a run. Zero-valued limits are disabled.
+type Watchdog struct {
+	// MaxBacklogBytes trips when the fabric's total backlog exceeds it —
+	// the divergence detector for runs past the stability boundary. It is
+	// checked at sample ticks, so truncation stays deterministic.
+	MaxBacklogBytes float64
+	// MaxWallClock bounds real elapsed time. Checked every few thousand
+	// events; truncation at this limit is inherently machine-dependent, so
+	// deterministic experiments should rely on MaxBacklogBytes.
+	MaxWallClock time.Duration
+}
+
+// Diagnosis explains a watchdog truncation. A nil Result.Diagnosis means
+// the run reached its horizon.
+type Diagnosis struct {
+	// Reason is "backlog-bound" or "wallclock-budget".
+	Reason string
+	// SimTime is the simulated time reached (seconds).
+	SimTime float64
+	// BacklogBytes is the fabric backlog at the stop.
+	BacklogBytes float64
+	// Events is the number of scheduling decisions taken.
+	Events int64
+	// Seed echoes Config.Seed for replay.
+	Seed uint64
+}
+
+func (d *Diagnosis) String() string {
+	return fmt.Sprintf("truncated (%s) at t=%.4gs: backlog %.4g bytes after %d decisions (seed %d)",
+		d.Reason, d.SimTime, d.BacklogBytes, d.Events, d.Seed)
+}
+
+// wallClockCheckEvery is how many event-loop iterations pass between
+// wall-clock watchdog checks.
+const wallClockCheckEvery = 4096
 
 // Result carries everything the paper's figures and tables read off a run.
 type Result struct {
@@ -80,9 +130,21 @@ type Result struct {
 	LeftoverBytes  float64
 	LeftoverFlows  int
 	Decisions      int64
-	Duration       float64
-	SchedulerName  string
+	// Duration is the simulated time covered: the configured horizon, or
+	// the truncation point when the watchdog stopped the run early.
+	Duration      float64
+	SchedulerName string
+
+	// Faults counts the injected fault events the run saw (zero-valued
+	// for fault-free runs).
+	Faults metrics.FaultCounters
+	// Diagnosis is non-nil when the watchdog truncated the run; the
+	// metrics above still satisfy arrived = departed + backlog.
+	Diagnosis *Diagnosis
 }
+
+// Truncated reports whether the watchdog stopped the run early.
+func (r *Result) Truncated() bool { return r.Diagnosis != nil }
 
 // AverageGbps returns the run's mean departure rate in Gbps — the paper's
 // global throughput metric.
@@ -98,7 +160,10 @@ type Sim struct {
 	nextID flow.ID
 
 	decision []*flow.Flow
-	byteRate float64 // bytes/s per selected flow
+	byteRate float64 // bytes/s per selected flow at full link rate
+
+	scheduler sched.Scheduler       // cfg.Scheduler, possibly wrapped
+	fallback  *sched.OutageFallback // non-nil iff faults are injected
 
 	pendingArrival  workload.Arrival
 	hasPending      bool
@@ -133,25 +198,62 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.ThroughputBucket <= 0 {
 		cfg.ThroughputBucket = cfg.Duration / 50
 	}
-	return &Sim{
-		cfg:      cfg,
-		table:    flow.NewTable(cfg.Hosts),
-		nextID:   1,
-		byteRate: cfg.LinkBps / 8,
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Schedule().Validate(); err != nil {
+			return nil, err
+		}
+		for _, lf := range cfg.Faults.Schedule().LinkFaults {
+			if lf.Port >= cfg.Hosts {
+				return nil, fmt.Errorf("fabricsim: link fault on port %d, fabric has %d hosts", lf.Port, cfg.Hosts)
+			}
+		}
+	}
+	if wd := cfg.Watchdog; wd != nil && (wd.MaxBacklogBytes < 0 || wd.MaxWallClock < 0) {
+		return nil, fmt.Errorf("fabricsim: negative watchdog bound %+v", *wd)
+	}
+	s := &Sim{
+		cfg:       cfg,
+		table:     flow.NewTable(cfg.Hosts),
+		nextID:    1,
+		byteRate:  cfg.LinkBps / 8,
+		scheduler: cfg.Scheduler,
 		res: &Result{
 			FCT:           metrics.NewFCT(),
 			Throughput:    metrics.NewThroughput(cfg.ThroughputBucket),
 			Duration:      cfg.Duration,
 			SchedulerName: cfg.Scheduler.Name(),
 		},
-	}, nil
+	}
+	if cfg.Faults != nil {
+		// Degraded mode for scheduler outages: hold the last matching. The
+		// result carries the wrapped name ("...+hold") so fault runs are
+		// recognizable in reports.
+		s.fallback = sched.NewOutageFallback(cfg.Scheduler)
+		s.scheduler = s.fallback
+		s.res.SchedulerName = s.fallback.Name()
+	}
+	return s, nil
+}
+
+// errorf wraps a run failure with the context a sweep needs to replay it:
+// the seed, the simulated time reached, and the decision count.
+func (s *Sim) errorf(format string, args ...any) error {
+	return fmt.Errorf("fabricsim [seed=%d t=%gs events=%d]: %w",
+		s.cfg.Seed, s.now, s.res.Decisions, fmt.Errorf(format, args...))
 }
 
 // Run executes the simulation to the horizon and returns the metrics.
+// Invalid-configuration and internal-invariant failures return an error
+// carrying the run context (seed, simulated time, event count); a tripped
+// watchdog is not an error — it returns the partial Result with a
+// populated Diagnosis.
 func (s *Sim) Run() (*Result, error) {
 	s.fetchArrival()
+	wallStart := time.Now()
+	var iter int64
 	for {
-		// Next event time: earliest of arrival, completion, sample, end.
+		// Next event time: earliest of arrival, completion, sample, fault
+		// boundary, end.
 		t := s.cfg.Duration
 		if s.hasPending && s.pendingArrival.Time < t {
 			t = s.pendingArrival.Time
@@ -162,11 +264,30 @@ func (s *Sim) Run() (*Result, error) {
 		if ct, ok := s.nextCompletionTime(); ok && ct < t {
 			t = ct
 		}
+		faultBoundary := false
+		if s.cfg.Faults != nil {
+			if fb, ok := s.cfg.Faults.NextBoundaryAfter(s.now); ok && fb <= t {
+				t = fb
+				faultBoundary = true
+			}
+		}
 
 		s.advanceTo(t)
 
 		done := t >= s.cfg.Duration
 		reschedule := false
+
+		if faultBoundary {
+			// The fault state changed (a link went down, recovered, or the
+			// scheduler's reachability flipped): account the boundary and
+			// force a fresh decision under the new conditions.
+			ls, le, os, oe := s.cfg.Faults.TransitionsAt(s.now)
+			s.res.Faults.LinkFaultStarts += int64(ls)
+			s.res.Faults.LinkFaultEnds += int64(le)
+			s.res.Faults.OutageStarts += int64(os)
+			s.res.Faults.OutageEnds += int64(oe)
+			reschedule = true
+		}
 
 		// Completions strictly before arrivals at the same instant: the
 		// departing flow frees its ports for the newcomer's decision.
@@ -178,19 +299,31 @@ func (s *Sim) Run() (*Result, error) {
 				// The event loop always advances to the earliest pending
 				// arrival, so an arrival in the past means the generator
 				// violated its time-ordering contract.
-				return nil, fmt.Errorf("fabricsim: generator produced out-of-order arrival at t=%g (now %g)",
-					s.pendingArrival.Time, s.now)
+				return nil, s.errorf("generator produced out-of-order arrival at t=%g",
+					s.pendingArrival.Time)
 			}
-			s.admit(s.pendingArrival)
+			if err := s.admit(s.pendingArrival); err != nil {
+				return nil, err
+			}
 			s.fetchArrival()
 			reschedule = true
 		}
 		if s.now >= s.nextSample {
 			s.sample()
 			s.nextSample += s.cfg.SampleInterval
+			if wd := s.cfg.Watchdog; wd != nil && wd.MaxBacklogBytes > 0 {
+				if backlog := s.table.TotalBacklog(); backlog > wd.MaxBacklogBytes {
+					return s.truncate("backlog-bound"), nil
+				}
+			}
 		}
 		if done {
 			break
+		}
+		if wd := s.cfg.Watchdog; wd != nil && wd.MaxWallClock > 0 {
+			if iter++; iter%wallClockCheckEvery == 0 && time.Since(wallStart) > wd.MaxWallClock {
+				return s.truncate("wallclock-budget"), nil
+			}
 		}
 		if reschedule {
 			if err := s.reschedule(); err != nil {
@@ -198,9 +331,33 @@ func (s *Sim) Run() (*Result, error) {
 			}
 		}
 	}
+	return s.finish(), nil
+}
+
+// finish seals the result at the current simulated time.
+func (s *Sim) finish() *Result {
 	s.res.LeftoverBytes = s.table.TotalBacklog()
 	s.res.LeftoverFlows = s.table.NumFlows()
-	return s.res, nil
+	if s.fallback != nil {
+		s.res.Faults.DecisionsHeld = s.fallback.HeldDecisions()
+	}
+	return s.res
+}
+
+// truncate seals a watchdog-stopped run: the partial Result keeps every
+// metric accumulated so far (byte conservation included) plus a Diagnosis
+// saying why and where the run stopped.
+func (s *Sim) truncate(reason string) *Result {
+	res := s.finish()
+	res.Duration = s.now
+	res.Diagnosis = &Diagnosis{
+		Reason:       reason,
+		SimTime:      s.now,
+		BacklogBytes: res.LeftoverBytes,
+		Events:       res.Decisions,
+		Seed:         s.cfg.Seed,
+	}
+	return res
 }
 
 // fetchArrival pulls the next arrival from the generator.
@@ -209,46 +366,68 @@ func (s *Sim) fetchArrival() {
 	s.pendingArrival, s.hasPending = a, ok
 }
 
-// admit adds an arrived flow to the fabric.
-func (s *Sim) admit(a workload.Arrival) {
+// admit adds an arrived flow to the fabric. A malformed arrival means the
+// generator violated its contract; the run fails with context rather than
+// panicking mid-sweep.
+func (s *Sim) admit(a workload.Arrival) error {
 	if a.Src < 0 || a.Src >= s.cfg.Hosts || a.Dst < 0 || a.Dst >= s.cfg.Hosts || a.Src == a.Dst || a.Size <= 0 {
-		// Generators are validated, so a bad arrival is a programming
-		// error worth failing loudly on.
-		panic(fmt.Sprintf("fabricsim: invalid arrival %+v", a))
+		return s.errorf("generator produced invalid arrival %+v", a)
 	}
 	f := flow.NewFlow(s.nextID, a.Src, a.Dst, a.Class, a.Size, a.Time)
 	s.nextID++
 	s.table.Add(f)
 	s.res.ArrivedFlows++
 	s.res.ArrivedBytes += a.Size
+	return nil
+}
+
+// flowRate returns f's current transmission rate in bytes/s: the access-
+// link rate scaled by the worse of its two ports' surviving link
+// fractions. Rates only change at fault boundaries, which are events, so
+// a rate sampled at s.now is valid until the next event.
+func (s *Sim) flowRate(f *flow.Flow) float64 {
+	if s.cfg.Faults == nil {
+		return s.byteRate
+	}
+	frac := s.cfg.Faults.LinkRateFraction(f.Src, s.now)
+	if d := s.cfg.Faults.LinkRateFraction(f.Dst, s.now); d < frac {
+		frac = d
+	}
+	return s.byteRate * frac
 }
 
 // nextCompletionTime returns when the earliest currently transmitting flow
-// finishes, assuming the decision stays fixed.
+// finishes, assuming the decision and fault state stay fixed. Flows on a
+// fully failed link never complete on their own; a fault boundary or a
+// new decision unblocks them.
 func (s *Sim) nextCompletionTime() (float64, bool) {
-	if len(s.decision) == 0 {
-		return 0, false
-	}
-	minRemaining := math.Inf(1)
+	minTime := math.Inf(1)
 	for _, f := range s.decision {
-		if f.Remaining < minRemaining {
-			minRemaining = f.Remaining
+		if rate := s.flowRate(f); rate > 0 {
+			if t := f.Remaining / rate; t < minTime {
+				minTime = t
+			}
 		}
 	}
-	return s.now + minRemaining/s.byteRate, true
+	if math.IsInf(minTime, 1) {
+		return 0, false
+	}
+	return s.now + minTime, true
 }
 
-// advanceTo drains the transmitting flows up to time t.
+// advanceTo drains the transmitting flows up to time t, each at its
+// current (possibly degraded) link rate.
 func (s *Sim) advanceTo(t float64) {
 	if t < s.now {
 		t = s.now
 	}
 	dt := t - s.now
 	if dt > 0 && len(s.decision) > 0 {
-		amount := dt * s.byteRate
 		var drained float64
 		for _, f := range s.decision {
-			drained += s.table.Drain(f, amount)
+			if rate := s.flowRate(f); rate > 0 {
+				drained += s.table.Drain(f, dt*rate)
+			}
 		}
 		if drained > 0 {
 			s.res.Throughput.AddRange(s.now, t, drained)
@@ -300,18 +479,23 @@ func (s *Sim) collectCompletions() bool {
 	return completed
 }
 
-// reschedule recomputes the scheduling decision.
+// reschedule recomputes the scheduling decision. During an injected
+// scheduler outage the fallback wrapper serves the held matching instead
+// of consulting the unreachable scheduler.
 func (s *Sim) reschedule() error {
-	s.decision = s.cfg.Scheduler.Schedule(s.table)
+	if s.fallback != nil {
+		s.fallback.SetOutage(s.cfg.Faults.SchedulerDown(s.now))
+	}
+	s.decision = s.scheduler.Schedule(s.table)
 	s.res.Decisions++
 	if s.cfg.ValidateDecisions {
 		if err := sched.ValidateDecision(s.cfg.Hosts, s.decision); err != nil {
-			return fmt.Errorf("fabricsim at t=%g: %w", s.now, err)
+			return s.errorf("%w", err)
 		}
 	}
 	if k := s.cfg.DeepValidateEvery; k > 0 && s.res.Decisions%k == 0 {
 		if err := s.deepValidate(); err != nil {
-			return fmt.Errorf("fabricsim at t=%g: %w", s.now, err)
+			return s.errorf("%w", err)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package fabricsim
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -351,23 +352,29 @@ func TestHighLoadBASRPTBeatsSRPTBacklog(t *testing.T) {
 	}
 }
 
-func TestAdmitPanicsOnBadArrival(t *testing.T) {
-	gen := workload.NewSliceGenerator([]workload.Arrival{
-		{Time: 0, Src: 0, Dst: 0, Size: 100, Class: flow.ClassOther}, // self loop
-	})
-	sim, err := New(Config{
-		Hosts: 2, LinkBps: link, Scheduler: sched.NewSRPT(), Generator: gen, Duration: 1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("self-directed arrival did not panic")
+// TestBadArrivalReturnsError: a generator violating its contract fails
+// the run with the replay context (seed, sim time, event count) instead
+// of panicking mid-sweep.
+func TestBadArrivalReturnsError(t *testing.T) {
+	for name, bad := range map[string]workload.Arrival{
+		"self loop":     {Time: 0, Src: 0, Dst: 0, Size: 100, Class: flow.ClassOther},
+		"negative size": {Time: 0, Src: 0, Dst: 1, Size: -1, Class: flow.ClassOther},
+		"port range":    {Time: 0, Src: 0, Dst: 7, Size: 100, Class: flow.ClassOther},
+	} {
+		gen := workload.NewSliceGenerator([]workload.Arrival{bad})
+		sim, err := New(Config{
+			Hosts: 2, LinkBps: link, Scheduler: sched.NewSRPT(), Generator: gen, Duration: 1, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
-	if _, err := sim.Run(); err != nil {
-		t.Fatal(err)
+		_, err = sim.Run()
+		if err == nil {
+			t.Fatalf("%s: bad arrival accepted", name)
+		}
+		if !strings.Contains(err.Error(), "seed=42") {
+			t.Fatalf("%s: error lacks run context: %v", name, err)
+		}
 	}
 }
 

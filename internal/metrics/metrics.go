@@ -140,6 +140,32 @@ func (s *Series) TailMean(frac float64) float64 {
 	return stats.Mean(s.Values[start:])
 }
 
+// FaultCounters tallies injected fault events over a run (zero-valued for
+// fault-free runs). The fabric simulator fills the window counters at
+// fault boundaries, the outage-fallback scheduler reports held decisions,
+// and the slotted switch and distributed arbitration report losses.
+type FaultCounters struct {
+	// LinkFaultStarts / LinkFaultEnds count link-fault window boundaries
+	// the run actually reached.
+	LinkFaultStarts int64
+	LinkFaultEnds   int64
+	// OutageStarts / OutageEnds count scheduler-outage window boundaries.
+	OutageStarts int64
+	OutageEnds   int64
+	// DecisionsHeld counts scheduling decisions served from the held
+	// matching while the scheduler was unreachable.
+	DecisionsHeld int64
+	// PacketsLost counts scheduled packets dropped in flight (Eq. 1 L(t)).
+	PacketsLost int64
+	// GrantsLost counts lost request/grant control messages.
+	GrantsLost int64
+}
+
+// Any reports whether the run saw at least one fault event.
+func (c FaultCounters) Any() bool {
+	return c != FaultCounters{}
+}
+
 // Throughput accounts bytes leaving the fabric, bucketed over time so the
 // Figure 5(a) series can be reproduced.
 type Throughput struct {

@@ -25,29 +25,59 @@ import (
 type Distributed struct {
 	v      float64
 	rounds int
+
+	// dropGrant, when non-nil, is the control-message-loss Bernoulli
+	// source (e.g. faults.Injector.DropGrant): true means the proposing
+	// host's request/grant exchange is lost this round and it must retry,
+	// costing one arbitration round of the budget.
+	dropGrant  func() bool
+	grantsLost int64
 }
 
 var _ Scheduler = (*Distributed)(nil)
 
 // NewDistributed returns the request/grant emulation of fast BASRPT with
 // weight v. rounds bounds the arbitration rounds per decision; 0 means
-// run to convergence (at most N rounds are ever needed).
+// run to convergence (at most N rounds are ever needed). It panics on
+// negative v or rounds — configuration errors, matching the sibling
+// constructors.
 func NewDistributed(v float64, rounds int) *Distributed {
 	if v < 0 {
 		panic(fmt.Sprintf("sched: negative V %g", v))
 	}
 	if rounds < 0 {
-		rounds = 0
+		panic(fmt.Sprintf("sched: negative rounds %d", rounds))
 	}
 	return &Distributed{v: v, rounds: rounds}
 }
 
-// Name returns "dist-basrpt(V=..., rounds=...)".
+// NewLossyDistributed is NewDistributed with a control-message-loss
+// source: each proposal additionally consults dropGrant, and a lost
+// message wastes the round for that host. With a bounded round budget
+// lost messages directly degrade decision quality — the retry-with-
+// bounded-rounds model of a real arbitration under an unreliable control
+// plane.
+func NewLossyDistributed(v float64, rounds int, dropGrant func() bool) *Distributed {
+	s := NewDistributed(v, rounds)
+	s.dropGrant = dropGrant
+	return s
+}
+
+// GrantsLost returns the cumulative lost control messages across all
+// Schedule calls.
+func (s *Distributed) GrantsLost() int64 { return s.grantsLost }
+
+// Name returns "dist-basrpt(V=..., rounds=...)", with a "+loss" suffix
+// when a control-message-loss source is attached.
 func (s *Distributed) Name() string {
-	if s.rounds == 0 {
-		return fmt.Sprintf("dist-basrpt(V=%g)", s.v)
+	name := fmt.Sprintf("dist-basrpt(V=%g)", s.v)
+	if s.rounds != 0 {
+		name = fmt.Sprintf("dist-basrpt(V=%g,rounds=%d)", s.v, s.rounds)
 	}
-	return fmt.Sprintf("dist-basrpt(V=%g,rounds=%d)", s.v, s.rounds)
+	if s.dropGrant != nil {
+		name += "+loss"
+	}
+	return name
 }
 
 // hostQueue is one ingress host's locally ranked candidates.
@@ -105,6 +135,13 @@ func (s *Distributed) Schedule(t *flow.Table) []*flow.Flow {
 			h := &hosts[i]
 			if h.next >= len(h.cands) {
 				continue // exhausted: drops out
+			}
+			if s.dropGrant != nil && s.dropGrant() {
+				// Control message lost in flight: the host learns nothing
+				// and retries the same candidate next round.
+				s.grantsLost++
+				nextFree = append(nextFree, i)
+				continue
 			}
 			prop := h.cands[h.next]
 			e := prop.f.Dst

@@ -266,9 +266,10 @@ func TestNoisyFactorProperties(t *testing.T) {
 
 func TestNoisyFastBASRPTPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"negative v":     func() { NewNoisyFastBASRPT(-1, 0) },
-		"negative noise": func() { NewNoisyFastBASRPT(1, -0.1) },
-		"distributed v":  func() { NewDistributed(-1, 0) },
+		"negative v":         func() { NewNoisyFastBASRPT(-1, 0) },
+		"negative noise":     func() { NewNoisyFastBASRPT(1, -0.1) },
+		"distributed v":      func() { NewDistributed(-1, 0) },
+		"distributed rounds": func() { NewDistributed(1, -1) },
 	} {
 		func() {
 			defer func() {

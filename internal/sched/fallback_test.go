@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"basrpt/internal/flow"
+	"basrpt/internal/stats"
+)
+
+func TestOutageFallbackDelegatesWhenUp(t *testing.T) {
+	tab, _ := buildTable(3, [][3]float64{
+		{0, 1, 100}, {1, 2, 200}, {2, 0, 300},
+	})
+	fb := NewOutageFallback(NewSRPT())
+	if !sameDecision(fb.Schedule(tab), NewSRPT().Schedule(tab)) {
+		t.Fatal("fallback changed the decision while the scheduler is up")
+	}
+	if fb.HeldDecisions() != 0 {
+		t.Fatal("held counter moved without an outage")
+	}
+	if got := fb.Name(); got != "srpt+hold" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+// TestOutageFallbackHoldsAndPrunes: during an outage the last matching is
+// served with completed (detached or fully drained) flows pruned out.
+func TestOutageFallbackHoldsAndPrunes(t *testing.T) {
+	tab, flows := buildTable(3, [][3]float64{
+		{0, 1, 100}, {1, 2, 200}, {2, 0, 300},
+	})
+	fb := NewOutageFallback(NewSRPT())
+	live := fb.Schedule(tab)
+	if len(live) != 3 {
+		t.Fatalf("live decision has %d flows, want 3", len(live))
+	}
+
+	// One flow departs, another drains to zero while still attached.
+	tab.Remove(flows[0])
+	tab.Drain(flows[1], flows[1].Remaining)
+
+	fb.SetOutage(true)
+	held := fb.Schedule(tab)
+	if len(held) != 1 || held[0] != flows[2] {
+		t.Fatalf("held decision = %v, want just flow 3", decisionIDs(held))
+	}
+	if fb.HeldDecisions() != 1 {
+		t.Fatalf("held counter = %d, want 1", fb.HeldDecisions())
+	}
+
+	// The returned slice is a fresh copy: clobbering it must not corrupt
+	// the next held decision.
+	held[0] = nil
+	again := fb.Schedule(tab)
+	if len(again) != 1 || again[0] != flows[2] {
+		t.Fatalf("held decision corrupted by caller mutation: %v", again)
+	}
+
+	// Recovery: the wrapped scheduler decides again and newly arrived flows
+	// — invisible to the held matching — become eligible.
+	fb.SetOutage(false)
+	newcomer := flow.NewFlow(10, 0, 1, flow.ClassOther, 50, 1)
+	tab.Add(newcomer)
+	selected := false
+	for _, f := range fb.Schedule(tab) {
+		if f == newcomer {
+			selected = true
+		}
+	}
+	if !selected {
+		t.Fatal("post-recovery decision ignores the newly arrived flow")
+	}
+}
+
+// TestOutageFallbackNeverViolatesCrossbar: pruning a valid matching yields
+// a valid matching, for arbitrary drain/removal interleavings.
+func TestOutageFallbackNeverViolatesCrossbar(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(5)
+		tab := randomTable(r, n, 4*n)
+		fb := NewOutageFallback(NewFastBASRPT(2500))
+		for step := 0; step < 20; step++ {
+			fb.SetOutage(r.Float64() < 0.5)
+			d := fb.Schedule(tab)
+			if err := ValidateDecision(n, d); err != nil {
+				t.Log(err)
+				return false
+			}
+			// Randomly complete some selected flows before the next decision.
+			for _, fl := range d {
+				if r.Float64() < 0.3 {
+					tab.Drain(fl, fl.Remaining)
+					tab.Remove(fl)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutageFallbackNilInnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil inner scheduler accepted")
+		}
+	}()
+	NewOutageFallback(nil)
+}
+
+// TestLossyDistributedValidAndCounted: control-message loss keeps the
+// decisions valid matchings, counts every lost grant, and flags the Name.
+func TestLossyDistributedValidAndCounted(t *testing.T) {
+	r := stats.NewRNG(23)
+	lossRNG := stats.NewRNG(99)
+	s := NewLossyDistributed(2500, 4, func() bool { return lossRNG.Float64() < 0.4 })
+	if got := s.Name(); !strings.HasSuffix(got, "+loss") {
+		t.Fatalf("name = %q lacks +loss", got)
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(5)
+		tab := randomTable(r, n, 3*n)
+		if err := ValidateDecision(n, s.Schedule(tab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.GrantsLost() == 0 {
+		t.Fatal("40% loss over 100 arbitrations lost no grants")
+	}
+}
+
+// TestLossyDistributedTotalLossStarvesBoundedRounds: if every control
+// message is lost, a bounded-round arbitration decides nothing (all rounds
+// are wasted retries) — but still returns a valid empty decision rather
+// than failing.
+func TestLossyDistributedTotalLossStarvesBoundedRounds(t *testing.T) {
+	r := stats.NewRNG(31)
+	tab := randomTable(r, 4, 12)
+	s := NewLossyDistributed(2500, 3, func() bool { return true })
+	if d := s.Schedule(tab); len(d) != 0 {
+		t.Fatalf("total control loss still matched %d flows", len(d))
+	}
+	if s.GrantsLost() == 0 {
+		t.Fatal("no grants counted lost under total loss")
+	}
+}
+
+// TestLossyDistributedZeroLossEqualsPlain: a never-firing loss source must
+// not perturb the arbitration.
+func TestLossyDistributedZeroLossEqualsPlain(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(4)
+		tab := randomTable(r, n, 3*n)
+		plain := NewDistributed(2500, 0).Schedule(tab)
+		lossy := NewLossyDistributed(2500, 0, func() bool { return false }).Schedule(tab)
+		return sameDecision(plain, lossy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

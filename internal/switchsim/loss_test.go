@@ -1,0 +1,106 @@
+package switchsim
+
+import (
+	"math"
+	"testing"
+
+	"basrpt/internal/faults"
+	"basrpt/internal/sched"
+	"basrpt/internal/stats"
+)
+
+// alwaysDrop loses every scheduled packet.
+type alwaysDrop struct{}
+
+func (alwaysDrop) DropPacket() bool { return true }
+
+// lossSim builds a loaded switch with the given packet dropper.
+func lossSim(t *testing.T, n int, load float64, seed uint64, loss PacketDropper) *Sim {
+	t.Helper()
+	prob, err := UniformLoadProb(n, load, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewBernoulliArrivals(prob, stats.Uniform{Lo: 1, Hi: 5}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Config{
+		N:                 n,
+		Scheduler:         sched.NewFastBASRPT(100),
+		Arrivals:          arr,
+		ValidateDecisions: true,
+		Loss:              loss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestPacketLossConservation: with Eq. (1)'s L(t) active, a dropped packet
+// re-enters its VOQ, so arrived = departed + backlog holds every slot.
+func TestPacketLossConservation(t *testing.T) {
+	schedule, err := faults.Generate(faults.Params{Seed: 6, Horizon: 1, PacketLossProb: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := lossSim(t, 4, 0.7, 8, faults.NewInjector(schedule))
+	for i := 0; i < 500; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sim.ArrivedPackets()-sim.DepartedPackets()-sim.Backlog()) > 1e-6 {
+			t.Fatalf("slot %d: conservation violated (arrived %g, departed %g, backlog %g)",
+				i, sim.ArrivedPackets(), sim.DepartedPackets(), sim.Backlog())
+		}
+	}
+	if sim.LostPackets() == 0 {
+		t.Fatal("20% loss over 500 loaded slots dropped nothing")
+	}
+	if sim.DepartedPackets() == 0 {
+		t.Fatal("partial loss stopped all departures")
+	}
+}
+
+// TestTotalLossBlocksAllService: with every packet lost the switch departs
+// nothing — all arrivals pile up as backlog, and the loss counter accounts
+// every wasted service opportunity.
+func TestTotalLossBlocksAllService(t *testing.T) {
+	sim := lossSim(t, 3, 0.6, 5, alwaysDrop{})
+	for i := 0; i < 100; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sim.DepartedPackets() != 0 {
+		t.Fatalf("departed %g packets under total loss", sim.DepartedPackets())
+	}
+	if sim.Backlog() != sim.ArrivedPackets() {
+		t.Fatalf("backlog %g != arrived %g under total loss", sim.Backlog(), sim.ArrivedPackets())
+	}
+	if sim.LostPackets() == 0 {
+		t.Fatal("no losses counted")
+	}
+}
+
+// TestPacketLossDeterministic: the same workload seed and fault seed
+// reproduce the lossy run exactly.
+func TestPacketLossDeterministic(t *testing.T) {
+	run := func() (float64, float64, int64) {
+		schedule, err := faults.Generate(faults.Params{Seed: 12, Horizon: 1, PacketLossProb: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := lossSim(t, 4, 0.8, 3, faults.NewInjector(schedule))
+		if err := sim.Run(300); err != nil {
+			t.Fatal(err)
+		}
+		return sim.ArrivedPackets(), sim.DepartedPackets(), sim.LostPackets()
+	}
+	a1, d1, l1 := run()
+	a2, d2, l2 := run()
+	if a1 != a2 || d1 != d2 || l1 != l2 {
+		t.Fatalf("lossy run not deterministic: (%g %g %d) vs (%g %g %d)", a1, d1, l1, a2, d2, l2)
+	}
+}

@@ -25,6 +25,18 @@ type Config struct {
 	// ValidateDecisions re-checks the crossbar constraint on every slot.
 	// Cheap insurance in tests; off by default in benchmarks.
 	ValidateDecisions bool
+	// Loss, when non-nil, drops each scheduled packet with a seeded
+	// Bernoulli draw — the explicit L(t) of Eq. (1). A dropped packet
+	// stays in its VOQ and is retransmitted in a later slot, so byte
+	// conservation (arrived = departed + backlog) still holds.
+	// faults.Injector satisfies this.
+	Loss PacketDropper
+}
+
+// PacketDropper decides per scheduled packet whether it is lost in
+// flight. Implementations must be deterministic given their seed.
+type PacketDropper interface {
+	DropPacket() bool
 }
 
 // Sim is a slotted input-queued switch simulation. Create with New, advance
@@ -38,6 +50,7 @@ type Sim struct {
 
 	arrivedPackets  float64
 	departedPackets float64
+	lostPackets     int64
 	completedFlows  int
 
 	fct           *metrics.FCT
@@ -99,6 +112,13 @@ func (s *Sim) Step() error {
 		s.cfg.OnSlot(t, decision)
 	}
 	for _, f := range decision {
+		if s.cfg.Loss != nil && s.cfg.Loss.DropPacket() {
+			// The scheduled packet is lost in flight: it re-enters its VOQ
+			// (i.e. is never drained) and the slot's service is wasted —
+			// Eq. (1)'s X(t+1) = X(t) + A(t) − R(t) + L(t) with L(t) = 1.
+			s.lostPackets++
+			continue
+		}
 		s.departedPackets += s.table.Drain(f, 1)
 		if f.Remaining <= 0 {
 			s.table.Remove(f)
@@ -160,6 +180,10 @@ func (s *Sim) ArrivedPackets() float64 { return s.arrivedPackets }
 
 // DepartedPackets returns the cumulative packets transmitted.
 func (s *Sim) DepartedPackets() float64 { return s.departedPackets }
+
+// LostPackets returns the cumulative scheduled packets lost in flight
+// (zero without a Loss process).
+func (s *Sim) LostPackets() int64 { return s.lostPackets }
 
 // CompletedFlows returns the number of fully transmitted flows.
 func (s *Sim) CompletedFlows() int { return s.completedFlows }
