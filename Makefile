@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench cover experiments stability fuzz clean
+.PHONY: all build test race vet bench bench-smoke cover experiments stability fuzz clean
 
 all: build test
 
@@ -20,6 +20,13 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick regression check of the multi-seed worker pool: a small Table I
+# aggregate plus a serial rerun, emitting runs/sec and speedup to
+# BENCH_runner.json (uploaded as a CI artifact).
+bench-smoke:
+	$(GO) run ./cmd/basrptbench -exp table1 -scale small -duration 0.5 \
+		-seeds 4 -parallel 4 -benchjson BENCH_runner.json
 
 cover:
 	$(GO) test -cover ./...

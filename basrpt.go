@@ -37,6 +37,7 @@ import (
 	"basrpt/internal/faults"
 	"basrpt/internal/flow"
 	"basrpt/internal/metrics"
+	"basrpt/internal/runner"
 	"basrpt/internal/sched"
 	"basrpt/internal/stats"
 	"basrpt/internal/switchsim"
@@ -271,6 +272,45 @@ type (
 	FaultsResult = core.FaultsResult
 )
 
+// Multi-seed experiment running (see internal/runner).
+type (
+	// Run is the run context the non-fabric experiment entry points take:
+	// the primary seed plus auxiliary seeds derived from it.
+	Run = core.Run
+	// MultiConfig shapes a multi-seed run: replicate count, worker count,
+	// and the root seed the per-replicate seeds derive from.
+	MultiConfig = runner.Config
+	// MultiAggregate carries per-metric mean, stddev, and 95% confidence
+	// intervals across the replicates.
+	MultiAggregate = runner.Aggregate
+	// MultiTask is one independently repeatable simulation unit.
+	MultiTask = runner.Task
+	// MultiSample is the named metric values one task run produced.
+	MultiSample = runner.Sample
+)
+
+// SeedRun wraps a bare primary seed in a Run context.
+func SeedRun(seed uint64) Run { return core.SeedRun(seed) }
+
+// RunMulti executes the named experiment (any -exp id except the
+// long-horizon stability showcase) across cfg.Seeds independent seeds on
+// up to cfg.Parallel workers, aggregating every headline metric with a
+// 95% confidence interval. The aggregate is byte-identical regardless of
+// worker count.
+func RunMulti(exp string, scale Scale, v float64, cfg MultiConfig) (*MultiAggregate, error) {
+	return core.RunMulti(exp, scale, v, cfg)
+}
+
+// RunTasks fans caller-supplied tasks across the worker pool — the
+// generic form of RunMulti for custom experiments.
+func RunTasks(cfg MultiConfig, tasks []MultiTask) (*MultiAggregate, error) {
+	return runner.Run(cfg, tasks)
+}
+
+// DeriveSeed maps (root, stream) to the deterministic per-replicate seed
+// the multi-seed runner uses.
+func DeriveSeed(root uint64, stream int) uint64 { return runner.DeriveSeed(root, stream) }
+
 // Predefined experiment scales.
 var (
 	ScaleSmall  = core.ScaleSmall
@@ -315,8 +355,8 @@ func RunStability(scale Scale, v float64) (*SaturationResult, error) {
 // RunDistributed measures how closely the request/grant distributed
 // emulation of fast BASRPT tracks the centralized decisions per
 // arbitration-round budget.
-func RunDistributed(n, trials int, v float64, rounds []int, seed uint64) (*DistributedResult, error) {
-	return core.RunDistributed(n, trials, v, rounds, seed)
+func RunDistributed(n, trials int, v float64, rounds []int, run Run) (*DistributedResult, error) {
+	return core.RunDistributed(n, trials, v, rounds, run)
 }
 
 // RunNoise sweeps flow-size estimation error levels for fast BASRPT.
@@ -332,9 +372,10 @@ func RunIncast(scale Scale, v float64, fanout int, jobsPerSecond, backgroundLoad
 
 // RunFaults compares SRPT and fast BASRPT under byte-identical workloads
 // and fault schedules (link faults plus a scheduler outage), reporting
-// per-class FCTs and backlog recovery time. Deterministic per faultSeed.
-func RunFaults(scale Scale, v float64, faultSeed uint64) (*FaultsResult, error) {
-	return core.RunFaults(scale, v, faultSeed)
+// per-class FCTs and backlog recovery time. Deterministic per
+// run.FaultSeed.
+func RunFaults(scale Scale, v float64, run Run) (*FaultsResult, error) {
+	return core.RunFaults(scale, v, run)
 }
 
 // RunFig6 reproduces the Figure 6 load sweep (nil loads selects the
@@ -349,14 +390,14 @@ func RunVSweep(scale Scale, vs []float64) (*VSweepResult, error) {
 }
 
 // RunTheorem1 validates Theorem 1 on an n-port slotted switch.
-func RunTheorem1(n int, load float64, slots int64, vs []float64, seed uint64) (*TheoremResult, error) {
-	return core.RunTheorem1(n, load, slots, vs, seed)
+func RunTheorem1(n int, load float64, slots int64, vs []float64, run Run) (*TheoremResult, error) {
+	return core.RunTheorem1(n, load, slots, vs, run)
 }
 
 // RunDTMC runs the tiny-switch stationary-distribution comparison.
 func RunDTMC(capacity int, v float64) (*DTMCResult, error) { return core.RunDTMC(capacity, v) }
 
 // RunExactVsFast measures the exact-vs-fast decision gap.
-func RunExactVsFast(n, trials int, v float64, seed uint64) (*AblationResult, error) {
-	return core.RunExactVsFast(n, trials, v, seed)
+func RunExactVsFast(n, trials int, v float64, run Run) (*AblationResult, error) {
+	return core.RunExactVsFast(n, trials, v, run)
 }

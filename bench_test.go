@@ -143,7 +143,7 @@ func BenchmarkFig8VSweepFCT(b *testing.B) {
 func BenchmarkTheoremBacklogScalesWithV(b *testing.B) {
 	var lowVBacklog, highVBacklog, lowVPenalty, highVPenalty float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunTheorem1(4, 0.85, 50000, []float64{1, 256}, 1)
+		res, err := RunTheorem1(4, 0.85, 50000, []float64{1, 256}, SeedRun(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func BenchmarkDTMCRecurrence(b *testing.B) {
 func BenchmarkAblationExactVsFast(b *testing.B) {
 	var meanGap, speedup float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunExactVsFast(5, 100, DefaultV, 1)
+		res, err := RunExactVsFast(5, 100, DefaultV, SeedRun(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,7 +219,7 @@ func BenchmarkSchedulerDecision(b *testing.B) {
 func BenchmarkDistributedEmulation(b *testing.B) {
 	var convergedAgree, oneRoundAgree float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunDistributed(8, 100, DefaultV, []int{0, 1}, 1)
+		res, err := RunDistributed(8, 100, DefaultV, []int{0, 1}, SeedRun(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,4 +260,29 @@ func BenchmarkIncast(b *testing.B) {
 	}
 	b.ReportMetric(srptP99, "srpt-response-p99-ms")
 	b.ReportMetric(fastP99, "basrpt-response-p99-ms")
+}
+
+// BenchmarkMultiSeedTable1 exercises the worker-pool experiment runner on
+// the Table I workload — 4 seeds × 2 schedulers fanned across GOMAXPROCS
+// workers — and reports the pool's throughput plus its wall-time speedup
+// over a serial pass of the byte-identical work. This is the regression
+// guard behind `make bench-smoke` / BENCH_runner.json.
+func BenchmarkMultiSeedTable1(b *testing.B) {
+	s := benchScale()
+	s.Duration = 0.5
+	var runsPerSec, speedup float64
+	for i := 0; i < b.N; i++ {
+		par, err := RunMulti("table1", s, DefaultV, MultiConfig{Seeds: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ser, err := RunMulti("table1", s, DefaultV, MultiConfig{Seeds: 4, Parallel: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runsPerSec = par.RunsPerSec()
+		speedup = ser.Elapsed.Seconds() / par.Elapsed.Seconds()
+	}
+	b.ReportMetric(runsPerSec, "runs/s")
+	b.ReportMetric(speedup, "speedup")
 }

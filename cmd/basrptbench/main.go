@@ -4,23 +4,35 @@
 //	basrptbench -exp all -scale medium
 //	basrptbench -exp table1 -scale paper      # full 144-host, 500 s run
 //	basrptbench -exp fig6 -v 2500
+//	basrptbench -exp table1 -seeds 5 -parallel 4   # 5-seed aggregate with ±ci
 //
 // Experiments: fig1, fig2, table1, fig5, fig6, fig7, fig8, theory, dtmc,
 // ablation, distributed, incast, noise, faults, all — plus the opt-in
 // long-horizon "stability" showcase. Pass -csvdir to also export the
 // series/rows as CSV.
+//
+// With -seeds N (N > 1) every experiment runs N independent replicates on
+// up to -parallel workers and reports per-metric mean, ±95% confidence
+// interval, stddev, min, and max instead of the single-seed tables. The
+// aggregates are byte-identical for any -parallel value. Pass -benchjson
+// to also time a serial rerun and write a speedup report (the
+// benchmark-regression artifact BENCH_runner.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"basrpt"
+	"basrpt/internal/core"
+	"basrpt/internal/runner"
 	"basrpt/internal/trace"
 )
 
@@ -43,9 +55,15 @@ func run(args []string, w io.Writer) error {
 		hosts     = fs.Int("hosts", 0, "override hosts per rack (0 = scale default)")
 		csvDir    = fs.String("csvdir", "", "when set, also export each experiment's series/rows as CSV into this directory")
 		faultSeed = fs.Uint64("faultseed", 1, "seed of the faults experiment's fault schedule")
+		seeds     = fs.Int("seeds", 1, "independent replicates per experiment; > 1 switches to aggregated ±ci output")
+		parallel  = fs.Int("parallel", 0, "worker count for multi-seed runs (0 = GOMAXPROCS)")
+		benchJSON = fs.String("benchjson", "", "multi-seed only: also rerun serially and write a runs/sec + speedup report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("seeds %d < 1", *seeds)
 	}
 
 	scale, err := pickScale(*scaleName)
@@ -69,6 +87,22 @@ func run(args []string, w io.Writer) error {
 		selected[strings.TrimSpace(e)] = true
 	}
 	all := selected["all"]
+
+	if *seeds > 1 {
+		return runMultiSeed(w, multiParams{
+			scale:     scale,
+			v:         *v,
+			selected:  selected,
+			all:       all,
+			csvDir:    *csvDir,
+			cfg:       runner.Config{Seeds: *seeds, Parallel: *parallel, RootSeed: *seed},
+			benchJSON: *benchJSON,
+		})
+	}
+	if *benchJSON != "" {
+		return fmt.Errorf("-benchjson needs -seeds > 1 (it reports multi-seed speedup)")
+	}
+
 	ran := 0
 	runExp := func(names []string, fn func() (string, error)) error {
 		match := all
@@ -204,7 +238,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if err := runExp([]string{"theory"}, func() (string, error) {
-		res, err := basrpt.RunTheorem1(4, 0.85, 200000, nil, *seed)
+		res, err := basrpt.RunTheorem1(4, 0.85, 200000, nil, basrpt.SeedRun(*seed))
 		if err != nil {
 			return "", err
 		}
@@ -224,7 +258,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if err := runExp([]string{"ablation"}, func() (string, error) {
-		res, err := basrpt.RunExactVsFast(5, 200, pickV(*v), *seed)
+		res, err := basrpt.RunExactVsFast(5, 200, pickV(*v), basrpt.SeedRun(*seed))
 		if err != nil {
 			return "", err
 		}
@@ -234,7 +268,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if err := runExp([]string{"distributed"}, func() (string, error) {
-		res, err := basrpt.RunDistributed(8, 200, pickV(*v), nil, *seed)
+		res, err := basrpt.RunDistributed(8, 200, pickV(*v), nil, basrpt.SeedRun(*seed))
 		if err != nil {
 			return "", err
 		}
@@ -277,7 +311,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if err := runExp([]string{"faults"}, func() (string, error) {
-		res, err := basrpt.RunFaults(scale, *v, *faultSeed)
+		res, err := basrpt.RunFaults(scale, *v, basrpt.Run{Seed: *seed, FaultSeed: *faultSeed})
 		if err != nil {
 			return "", err
 		}
@@ -304,6 +338,143 @@ func run(args []string, w io.Writer) error {
 
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+// multiParams carries the -seeds > 1 configuration into the multi-seed
+// path.
+type multiParams struct {
+	scale     basrpt.Scale
+	v         float64
+	selected  map[string]bool
+	all       bool
+	csvDir    string
+	cfg       runner.Config
+	benchJSON string
+}
+
+// benchExperiment is one row of the benchmark-regression report: the
+// parallel run's throughput and its speedup over a serial rerun of the
+// identical work.
+type benchExperiment struct {
+	Experiment  string  `json:"experiment"`
+	Seeds       int     `json:"seeds"`
+	Parallel    int     `json:"parallel"`
+	Units       int     `json:"units"`
+	ParallelSec float64 `json:"parallel_sec"`
+	SerialSec   float64 `json:"serial_sec"`
+	Speedup     float64 `json:"speedup"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+}
+
+// benchReport is the -benchjson artifact (BENCH_runner.json in CI).
+type benchReport struct {
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+// runMultiSeed is the -seeds > 1 path: every selected experiment fans its
+// replicates across the worker pool and prints a per-metric mean/±ci95
+// aggregate instead of the single-seed tables. Timing lines are bracketed
+// so they can be stripped when comparing outputs across worker counts.
+func runMultiSeed(w io.Writer, p multiParams) error {
+	type timedRun struct {
+		spec core.MultiSpec
+		agg  *runner.Aggregate
+	}
+	var runs []timedRun
+	for _, spec := range core.MultiSpecs() {
+		match := p.all
+		for _, n := range spec.Names {
+			if p.selected[n] {
+				match = true
+			}
+		}
+		if !match {
+			continue
+		}
+		agg, err := basrpt.RunMulti(spec.Names[0], p.scale, p.v, p.cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Names[0], err)
+		}
+		fmt.Fprintln(w, agg.Render(spec.Title))
+		fmt.Fprintf(w, "[%s took %s on %d workers, %.2f runs/s]\n\n",
+			strings.Join(spec.Names, "/"), agg.Elapsed.Round(time.Millisecond),
+			agg.Parallel, agg.RunsPerSec())
+		if err := exportAggregate(p.csvDir, "multi_"+spec.Names[0], agg); err != nil {
+			return err
+		}
+		runs = append(runs, timedRun{spec: spec, agg: agg})
+	}
+	if p.selected["stability"] {
+		fmt.Fprintln(w, "stability: no multi-seed form (its value is one long trajectory); rerun with -seeds 1")
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("no selected experiment has a multi-seed form")
+	}
+	if p.benchJSON == "" {
+		return nil
+	}
+
+	// Benchmark-regression artifact: rerun each aggregate on one worker
+	// and report wall-time speedup plus parallel runs/sec.
+	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, r := range runs {
+		serialCfg := p.cfg
+		serialCfg.Parallel = 1
+		serial, err := basrpt.RunMulti(r.spec.Names[0], p.scale, p.v, serialCfg)
+		if err != nil {
+			return fmt.Errorf("%s serial rerun: %w", r.spec.Names[0], err)
+		}
+		row := benchExperiment{
+			Experiment:  r.spec.Names[0],
+			Seeds:       p.cfg.Seeds,
+			Parallel:    r.agg.Parallel,
+			Units:       r.agg.Units,
+			ParallelSec: r.agg.Elapsed.Seconds(),
+			SerialSec:   serial.Elapsed.Seconds(),
+			RunsPerSec:  r.agg.RunsPerSec(),
+		}
+		if row.ParallelSec > 0 {
+			row.Speedup = row.SerialSec / row.ParallelSec
+		}
+		report.Experiments = append(report.Experiments, row)
+		fmt.Fprintf(w, "[bench %s: serial %.3fs, parallel %.3fs, speedup %.2fx]\n",
+			row.Experiment, row.SerialSec, row.ParallelSec, row.Speedup)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: marshal: %w", err)
+	}
+	if err := os.WriteFile(p.benchJSON, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	fmt.Fprintf(w, "[bench report written to %s]\n", p.benchJSON)
+	return nil
+}
+
+// exportAggregate writes a multi-seed aggregate as <dir>/<name>.csv; a
+// no-op when dir is empty.
+func exportAggregate(dir, name string, agg *runner.Aggregate) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create csv dir: %w", err)
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	writeErr := agg.WriteCSV(f)
+	closeErr := f.Close()
+	if writeErr != nil {
+		return fmt.Errorf("write %s: %w", path, writeErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("close %s: %w", path, closeErr)
 	}
 	return nil
 }

@@ -6,6 +6,12 @@
 //
 // writes /tmp/srpt_queue.csv, /tmp/srpt_total_backlog.csv and
 // /tmp/srpt_throughput.csv. With -out "" the series go to stdout.
+//
+// With -seeds N (N > 1) the command instead replicates the run across N
+// seeds on up to -parallel workers and prints the scalar headline metrics
+// (throughput, per-class FCT, backlog tail) as a mean/±ci95 aggregate;
+// series export stays single-seed because trajectories from different
+// seeds cannot be meaningfully averaged sample-by-sample.
 package main
 
 import (
@@ -13,8 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"basrpt"
+	"basrpt/internal/runner"
 	"basrpt/internal/trace"
 )
 
@@ -37,41 +45,84 @@ func run(args []string, stdout io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		monitor   = fs.Int("port", 0, "ingress port to monitor")
 		out       = fs.String("out", "", "output file prefix (empty: stdout)")
+		seeds     = fs.Int("seeds", 1, "replicates; > 1 prints a scalar-metric ±ci aggregate instead of series")
+		parallel  = fs.Int("parallel", 0, "worker count for multi-seed runs (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *seeds < 1 {
+		return fmt.Errorf("seeds %d < 1", *seeds)
+	}
 
-	topo, err := basrpt.NewTopology(basrpt.ScaledTopology(*racks, *hosts))
-	if err != nil {
-		return err
+	// simulate runs one full fabric simulation for the given seed. Every
+	// component — scheduler included — is built inside so the closure is
+	// safe to invoke from concurrent runner workers.
+	simulate := func(seed uint64) (*basrpt.FabricResult, error) {
+		topo, err := basrpt.NewTopology(basrpt.ScaledTopology(*racks, *hosts))
+		if err != nil {
+			return nil, err
+		}
+		scheduler, err := basrpt.NewScheduler(*schedName, basrpt.SchedulerOptions{V: *v, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := basrpt.NewMixedWorkload(basrpt.MixedConfig{
+			Topology:          topo,
+			Load:              *load,
+			QueryByteFraction: basrpt.DefaultQueryByteFraction,
+			Duration:          *duration,
+			Seed:              seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim, err := basrpt.NewFabricSim(basrpt.FabricConfig{
+			Hosts:       topo.NumHosts(),
+			LinkBps:     topo.HostLinkBps(),
+			Scheduler:   scheduler,
+			Generator:   gen,
+			Duration:    *duration,
+			MonitorPort: *monitor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run()
 	}
-	scheduler, err := basrpt.NewScheduler(*schedName, basrpt.SchedulerOptions{V: *v, Seed: *seed})
-	if err != nil {
-		return err
+
+	if *seeds > 1 {
+		task := runner.Task{Name: *schedName, Run: func(seed uint64) (runner.Sample, error) {
+			res, err := simulate(seed)
+			if err != nil {
+				return nil, err
+			}
+			q := res.FCT.Stats(basrpt.ClassQuery)
+			bg := res.FCT.Stats(basrpt.ClassBackground)
+			return runner.Sample{
+				"gbps":            res.AverageGbps(),
+				"query_avg_ms":    q.MeanMs,
+				"query_p99_ms":    q.P99Ms,
+				"bg_avg_ms":       bg.MeanMs,
+				"bg_p99_ms":       bg.P99Ms,
+				"completed_flows": float64(res.CompletedFlows),
+				"maxport_tail_mb": res.MaxPortSeries.TailMean(0.3) / 1e6,
+			}, nil
+		}}
+		agg, err := basrpt.RunTasks(basrpt.MultiConfig{
+			Seeds: *seeds, Parallel: *parallel, RootSeed: *seed,
+		}, []basrpt.MultiTask{task})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, agg.Render(fmt.Sprintf("trace %s, load %.0f%%, %d×%d hosts",
+			*schedName, *load*100, *racks, *hosts)))
+		fmt.Fprintf(stdout, "[%d seeds on %d workers in %s; series export is single-seed — rerun with -seeds 1]\n",
+			*seeds, agg.Parallel, agg.Elapsed.Round(time.Millisecond))
+		return nil
 	}
-	gen, err := basrpt.NewMixedWorkload(basrpt.MixedConfig{
-		Topology:          topo,
-		Load:              *load,
-		QueryByteFraction: basrpt.DefaultQueryByteFraction,
-		Duration:          *duration,
-		Seed:              *seed,
-	})
-	if err != nil {
-		return err
-	}
-	sim, err := basrpt.NewFabricSim(basrpt.FabricConfig{
-		Hosts:       topo.NumHosts(),
-		LinkBps:     topo.HostLinkBps(),
-		Scheduler:   scheduler,
-		Generator:   gen,
-		Duration:    *duration,
-		MonitorPort: *monitor,
-	})
-	if err != nil {
-		return err
-	}
-	res, err := sim.Run()
+
+	res, err := simulate(*seed)
 	if err != nil {
 		return err
 	}

@@ -35,7 +35,8 @@ type AblationResult struct {
 
 // RunExactVsFast compares the two decision rules on random backlogged
 // states of an n-port switch (n must stay within exact BASRPT's limit).
-func RunExactVsFast(n, trials int, v float64, seed uint64) (*AblationResult, error) {
+// run.Seed drives the random states.
+func RunExactVsFast(n, trials int, v float64, run Run) (*AblationResult, error) {
 	if n < 2 || n > sched.DefaultExactMaxPorts {
 		return nil, fmt.Errorf("ablation: n = %d outside [2, %d]", n, sched.DefaultExactMaxPorts)
 	}
@@ -45,9 +46,7 @@ func RunExactVsFast(n, trials int, v float64, seed uint64) (*AblationResult, err
 	if v < 0 {
 		return nil, fmt.Errorf("ablation: negative V %g", v)
 	}
-	if seed == 0 {
-		seed = 1
-	}
+	seed := run.withDefaults().Seed
 	r := stats.NewRNG(seed)
 	exact := sched.NewExactBASRPT(v, 0)
 	fast := sched.NewFastBASRPT(v)

@@ -160,7 +160,7 @@ func TestRunVSweepSmall(t *testing.T) {
 }
 
 func TestRunTheorem1(t *testing.T) {
-	res, err := RunTheorem1(3, 0.8, 20000, []float64{2, 32}, 1)
+	res, err := RunTheorem1(3, 0.8, 20000, []float64{2, 32}, SeedRun(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,10 +190,10 @@ func TestRunTheorem1(t *testing.T) {
 	if !strings.Contains(res.Render(), "Theorem 1") {
 		t.Fatal("render missing title")
 	}
-	if _, err := RunTheorem1(3, 0.8, 0, nil, 1); err == nil {
+	if _, err := RunTheorem1(3, 0.8, 0, nil, SeedRun(1)); err == nil {
 		t.Fatal("zero horizon accepted")
 	}
-	if _, err := RunTheorem1(3, 0.8, 10, []float64{0}, 1); err == nil {
+	if _, err := RunTheorem1(3, 0.8, 10, []float64{0}, SeedRun(1)); err == nil {
 		t.Fatal("zero V accepted")
 	}
 }
@@ -216,7 +216,7 @@ func TestRunDTMC(t *testing.T) {
 }
 
 func TestRunExactVsFast(t *testing.T) {
-	res, err := RunExactVsFast(4, 50, DefaultV, 1)
+	res, err := RunExactVsFast(4, 50, DefaultV, SeedRun(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,10 +229,10 @@ func TestRunExactVsFast(t *testing.T) {
 	if !strings.Contains(res.Render(), "Ablation") {
 		t.Fatal("render missing title")
 	}
-	if _, err := RunExactVsFast(100, 5, 1, 1); err == nil {
+	if _, err := RunExactVsFast(100, 5, 1, SeedRun(1)); err == nil {
 		t.Fatal("oversized fabric accepted")
 	}
-	if _, err := RunExactVsFast(4, 0, 1, 1); err == nil {
+	if _, err := RunExactVsFast(4, 0, 1, SeedRun(1)); err == nil {
 		t.Fatal("zero trials accepted")
 	}
 }

@@ -31,8 +31,8 @@ type DistributedResult struct {
 
 // RunDistributed compares the distributed emulation against centralized
 // fast BASRPT over random backlogged states for each round budget (nil
-// selects {0, 1, 2, 4}).
-func RunDistributed(n, trials int, v float64, rounds []int, seed uint64) (*DistributedResult, error) {
+// selects {0, 1, 2, 4}). run.Seed drives the random states.
+func RunDistributed(n, trials int, v float64, rounds []int, run Run) (*DistributedResult, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("distributed ablation: n = %d", n)
 	}
@@ -45,10 +45,7 @@ func RunDistributed(n, trials int, v float64, rounds []int, seed uint64) (*Distr
 	if len(rounds) == 0 {
 		rounds = []int{0, 1, 2, 4}
 	}
-	if seed == 0 {
-		seed = 1
-	}
-	states := randomStates(n, trials, seed)
+	states := randomStates(n, trials, run.withDefaults().Seed)
 	central := sched.NewFastBASRPT(v)
 
 	res := &DistributedResult{N: n, Trials: trials, V: v}

@@ -62,17 +62,17 @@ type FaultsResult struct {
 }
 
 // RunFaults executes the resilience experiment. v <= 0 selects DefaultV;
-// faultSeed 0 selects 1. The fault schedule scales with the horizon:
-// three link faults (down or degraded) and one scheduler outage, all
-// inside the middle 80% of the run.
-func RunFaults(scale Scale, v float64, faultSeed uint64) (*FaultsResult, error) {
+// the fault schedule is drawn from run.FaultSeed (0 derives it from
+// run.Seed, 1 when both are unset) and scales with the horizon: three
+// link faults (down or degraded) and one scheduler outage, all inside the
+// middle 80% of the run. The workload seed stays scale.Seed so schedules
+// and arrivals can be varied independently.
+func RunFaults(scale Scale, v float64, run Run) (*FaultsResult, error) {
 	scale = scale.withDefaults()
 	if v <= 0 {
 		v = DefaultV
 	}
-	if faultSeed == 0 {
-		faultSeed = 1
-	}
+	faultSeed := run.withDefaults().FaultSeed
 	topo, err := scale.Topology()
 	if err != nil {
 		return nil, err
@@ -95,7 +95,7 @@ func RunFaults(scale Scale, v float64, faultSeed uint64) (*FaultsResult, error) 
 		Load:      FaultsLoad,
 		Schedule:  schedule,
 	}
-	run := func(scheduler sched.Scheduler) (FaultsRun, error) {
+	runOne := func(scheduler sched.Scheduler) (FaultsRun, error) {
 		gen, err := workload.NewMixed(workload.MixedConfig{
 			Topology:          topo,
 			Load:              FaultsLoad,
@@ -142,10 +142,10 @@ func RunFaults(scale Scale, v float64, faultSeed uint64) (*FaultsResult, error) 
 		out.PreFaultMeanBytes, out.RecoverySec = recoveryTime(&r.TotalBacklogSeries, schedule)
 		return out, nil
 	}
-	if res.SRPT, err = run(sched.NewSRPT()); err != nil {
+	if res.SRPT, err = runOne(sched.NewSRPT()); err != nil {
 		return nil, fmt.Errorf("faults srpt: %w", err)
 	}
-	if res.Fast, err = run(sched.NewFastBASRPT(v)); err != nil {
+	if res.Fast, err = runOne(sched.NewFastBASRPT(v)); err != nil {
 		return nil, fmt.Errorf("faults fast-basrpt: %w", err)
 	}
 	return res, nil

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"basrpt/internal/fabricsim"
+	"basrpt/internal/flow"
+	"basrpt/internal/runner"
+	"basrpt/internal/sched"
+	"basrpt/internal/workload"
+)
+
+// MultiSpec describes one multi-seed-capable experiment: the -exp ids it
+// answers to and the per-seed tasks it fans across the worker pool. Where
+// an experiment decomposes into independent simulations (one scheduler at
+// one operating point), each becomes its own task so the pool stays busy
+// even when the seed count barely exceeds the worker count.
+type MultiSpec struct {
+	// Names are the -exp ids this spec serves (e.g. table1 and fig5 share
+	// one saturation run).
+	Names []string
+	// Title heads the rendered aggregate.
+	Title string
+	// Tasks builds the replicable units. Constructors run inside the task
+	// so every worker gets its own scheduler instance (they are not
+	// goroutine-safe).
+	Tasks func(scale Scale, v float64) []runner.Task
+}
+
+// fabricTask wraps one fabric simulation as a runner task: fresh
+// scheduler, generator, and simulator per invocation, seeded by the
+// replicate seed.
+func fabricTask(name string, scale Scale, mk func() sched.Scheduler, load, queryFraction float64) runner.Task {
+	return runner.Task{Name: name, Run: func(seed uint64) (runner.Sample, error) {
+		s := scale
+		s.Seed = seed
+		res, err := runFabricQF(s, mk(), load, queryFraction)
+		if err != nil {
+			return nil, err
+		}
+		return fabricSample(res, s), nil
+	}}
+}
+
+// fabricSample flattens the headline quantities of one fabric run — the
+// Table I FCT columns, throughput, and queue stability — into named
+// metrics.
+func fabricSample(res *fabricsim.Result, scale Scale) runner.Sample {
+	qAvg, qP99 := fctRow(res, flow.ClassQuery)
+	bAvg, bP99 := fctRow(res, flow.ClassBackground)
+	return runner.Sample{
+		"query_avg_ms":    qAvg,
+		"query_p99_ms":    qP99,
+		"bg_avg_ms":       bAvg,
+		"bg_p99_ms":       bP99,
+		"gbps":            res.AverageGbps(),
+		"departed_mb":     res.DepartedBytes / 1e6,
+		"maxport_tail_mb": res.MaxPortSeries.TailMean(0.3) / 1e6,
+		"queue_growth":    trendAfterWarmup(&res.MaxPortSeries, scale).GrowthRatio,
+		"completed_flows": float64(res.CompletedFlows),
+		"leftover_flows":  float64(res.LeftoverFlows),
+	}
+}
+
+// MultiSpecs returns every multi-seed-capable experiment, in the order the
+// harness reports them. The long-horizon stability showcase is excluded:
+// its value is the single long trajectory, not cross-seed dispersion.
+func MultiSpecs() []MultiSpec {
+	return []MultiSpec{
+		{
+			Names: []string{"fig1"},
+			Title: "Figure 1 — SRPT instability example",
+			Tasks: func(Scale, float64) []runner.Task {
+				// The instance is deterministic; multi-seed runs confirm a
+				// zero confidence interval.
+				return []runner.Task{{Name: "", Run: func(uint64) (runner.Sample, error) {
+					res, err := RunFig1()
+					if err != nil {
+						return nil, err
+					}
+					return runner.Sample{
+						"srpt_leftover_pkts":   res.SRPT.LeftoverPackets,
+						"basrpt_leftover_pkts": res.BacklogAware.LeftoverPackets,
+						"basrpt_departed_pkts": res.BacklogAware.DepartedPackets,
+					}, nil
+				}}}
+			},
+		},
+		{
+			Names: []string{"fig2"},
+			Title: fmt.Sprintf("Figure 2 — queue length at a port, load %.0f%%", Fig2Load*100),
+			Tasks: func(scale Scale, _ float64) []runner.Task {
+				return []runner.Task{
+					fabricTask("srpt", scale, func() sched.Scheduler { return sched.NewSRPT() },
+						Fig2Load, defaultQueryFraction()),
+					fabricTask("threshold", scale, func() sched.Scheduler { return sched.NewThresholdBacklog(5e6) },
+						Fig2Load, defaultQueryFraction()),
+				}
+			},
+		},
+		{
+			Names: []string{"table1", "fig5"},
+			Title: fmt.Sprintf("Table I / Figure 5 — SRPT vs fast BASRPT at %.0f%% load", SaturationLoad*100),
+			Tasks: func(scale Scale, v float64) []runner.Task {
+				return []runner.Task{
+					fabricTask("srpt", scale, func() sched.Scheduler { return sched.NewSRPT() },
+						SaturationLoad, defaultQueryFraction()),
+					fabricTask("fast-basrpt", scale, func() sched.Scheduler { return sched.NewFastBASRPT(v) },
+						SaturationLoad, defaultQueryFraction()),
+				}
+			},
+		},
+		{
+			Names: []string{"fig6"},
+			Title: "Figure 6 — varying loads",
+			Tasks: func(scale Scale, v float64) []runner.Task {
+				var tasks []runner.Task
+				for _, load := range DefaultFig6Loads() {
+					load := load
+					tasks = append(tasks,
+						fabricTask(fmt.Sprintf("srpt@%.0f%%", load*100), scale,
+							func() sched.Scheduler { return sched.NewSRPT() }, load, defaultQueryFraction()),
+						fabricTask(fmt.Sprintf("fast@%.0f%%", load*100), scale,
+							func() sched.Scheduler { return sched.NewFastBASRPT(v) }, load, defaultQueryFraction()),
+					)
+				}
+				return tasks
+			},
+		},
+		{
+			Names: []string{"fig7", "fig8"},
+			Title: fmt.Sprintf("Figures 7/8 — V sweep at %.0f%% load", SaturationLoad*100),
+			Tasks: func(scale Scale, _ float64) []runner.Task {
+				var tasks []runner.Task
+				for _, v := range DefaultVSweep() {
+					v := v
+					tasks = append(tasks, fabricTask(fmt.Sprintf("V%g", v), scale,
+						func() sched.Scheduler { return sched.NewFastBASRPT(v) },
+						SaturationLoad, defaultQueryFraction()))
+				}
+				return tasks
+			},
+		},
+		{
+			Names: []string{"theory"},
+			Title: "Theorem 1 — backlog and penalty vs V (slotted switch)",
+			Tasks: func(Scale, float64) []runner.Task {
+				return []runner.Task{{Name: "", Run: func(seed uint64) (runner.Sample, error) {
+					res, err := RunTheorem1(4, 0.85, 100000, nil, Run{Seed: seed})
+					if err != nil {
+						return nil, err
+					}
+					sample := runner.Sample{}
+					for _, row := range res.Rows {
+						sample[fmt.Sprintf("V%g/mean_backlog_pkts", row.V)] = row.MeanBacklog
+						sample[fmt.Sprintf("V%g/mean_penalty", row.V)] = row.MeanPenalty
+					}
+					return sample, nil
+				}}}
+			},
+		},
+		{
+			Names: []string{"dtmc"},
+			Title: "DTMC — stationary mass at the backlog cap (deterministic)",
+			Tasks: func(Scale, float64) []runner.Task {
+				return []runner.Task{{Name: "", Run: func(uint64) (runner.Sample, error) {
+					res, err := RunDTMC(0, 0)
+					if err != nil {
+						return nil, err
+					}
+					return runner.Sample{
+						"srpt_cap_mass":   res.Shortest.CapMass,
+						"basrpt_cap_mass": res.Backlog.CapMass,
+					}, nil
+				}}}
+			},
+		},
+		{
+			Names: []string{"ablation"},
+			Title: "Ablation — exact vs fast BASRPT decisions",
+			Tasks: func(_ Scale, v float64) []runner.Task {
+				return []runner.Task{{Name: "", Run: func(seed uint64) (runner.Sample, error) {
+					res, err := RunExactVsFast(5, 200, v, Run{Seed: seed})
+					if err != nil {
+						return nil, err
+					}
+					return runner.Sample{
+						"mean_objective_gap": res.MeanGap,
+						"max_objective_gap":  res.MaxGap,
+					}, nil
+				}}}
+			},
+		},
+		{
+			Names: []string{"distributed"},
+			Title: "Distributed — request/grant agreement per round budget",
+			Tasks: func(_ Scale, v float64) []runner.Task {
+				return []runner.Task{{Name: "", Run: func(seed uint64) (runner.Sample, error) {
+					res, err := RunDistributed(8, 200, v, nil, Run{Seed: seed})
+					if err != nil {
+						return nil, err
+					}
+					sample := runner.Sample{}
+					for _, row := range res.Rows {
+						sample[fmt.Sprintf("rounds%d/agreement", row.Rounds)] = row.Agreement
+						sample[fmt.Sprintf("rounds%d/mean_gap", row.Rounds)] = row.MeanGap
+					}
+					return sample, nil
+				}}}
+			},
+		},
+		{
+			Names: []string{"incast"},
+			Title: "Incast — partition/aggregate under SRPT vs fast BASRPT",
+			Tasks: func(scale Scale, v float64) []runner.Task {
+				return []runner.Task{{Name: "", Run: func(seed uint64) (runner.Sample, error) {
+					s := scale
+					s.Seed = seed
+					res, err := RunIncast(s, v, 0, 0, 0)
+					if err != nil {
+						return nil, err
+					}
+					sq, sq99 := fctRow(res.SRPT, flow.ClassQuery)
+					fq, fq99 := fctRow(res.Fast, flow.ClassQuery)
+					return runner.Sample{
+						"srpt/response_avg_ms": sq,
+						"srpt/response_p99_ms": sq99,
+						"fast/response_avg_ms": fq,
+						"fast/response_p99_ms": fq99,
+					}, nil
+				}}}
+			},
+		},
+		{
+			Names: []string{"noise"},
+			Title: "Noise — fast BASRPT under size-estimation error",
+			Tasks: func(scale Scale, v float64) []runner.Task {
+				return []runner.Task{{Name: "", Run: func(seed uint64) (runner.Sample, error) {
+					s := scale
+					s.Seed = seed
+					res, err := RunNoise(s, v, 0.8, nil)
+					if err != nil {
+						return nil, err
+					}
+					sample := runner.Sample{}
+					for _, row := range res.Rows {
+						sample[fmt.Sprintf("err%g/gbps", row.NoiseLevel)] = row.Gbps
+						sample[fmt.Sprintf("err%g/query_avg_ms", row.NoiseLevel)] = row.QueryAvgMs
+					}
+					return sample, nil
+				}}}
+			},
+		},
+		{
+			Names: []string{"faults"},
+			Title: "Faults — resilience under per-seed fault schedules",
+			Tasks: func(scale Scale, v float64) []runner.Task {
+				return []runner.Task{{Name: "", Run: func(seed uint64) (runner.Sample, error) {
+					s := scale
+					s.Seed = seed
+					// FaultSeed derives from the replicate seed, so each
+					// replicate sees a different schedule as well as a
+					// different workload.
+					res, err := RunFaults(s, v, Run{Seed: seed})
+					if err != nil {
+						return nil, err
+					}
+					sample := runner.Sample{
+						"srpt/query_avg_ms": res.SRPT.QueryAvgMs,
+						"srpt/gbps":         res.SRPT.Gbps,
+						"fast/query_avg_ms": res.Fast.QueryAvgMs,
+						"fast/gbps":         res.Fast.Gbps,
+					}
+					// Recovery is only observable when the backlog returned
+					// inside the horizon; unrecovered replicates report the
+					// indicator instead of poisoning the mean with -1.
+					for name, run := range map[string]*FaultsRun{"srpt": &res.SRPT, "fast": &res.Fast} {
+						recovered := 0.0
+						if run.RecoverySec >= 0 {
+							recovered = 1
+							sample[name+"/recovery_s"] = run.RecoverySec
+						}
+						sample[name+"/recovered"] = recovered
+					}
+					return sample, nil
+				}}}
+			},
+		},
+	}
+}
+
+// MultiSpecFor returns the spec serving the -exp id, or nil.
+func MultiSpecFor(name string) *MultiSpec {
+	specs := MultiSpecs()
+	for i := range specs {
+		for _, n := range specs[i].Names {
+			if n == name {
+				return &specs[i]
+			}
+		}
+	}
+	return nil
+}
+
+// RunMulti executes the named experiment across cfg.Seeds independent
+// replicates on the worker pool and returns the per-metric aggregate.
+func RunMulti(name string, scale Scale, v float64, cfg runner.Config) (*runner.Aggregate, error) {
+	spec := MultiSpecFor(name)
+	if spec == nil {
+		return nil, fmt.Errorf("multi: experiment %q has no multi-seed form", name)
+	}
+	scale = scale.withDefaults()
+	if v <= 0 {
+		v = DefaultV
+	}
+	return runner.Run(cfg, spec.Tasks(scale, v))
+}
+
+// defaultQueryFraction is the harness default query byte share.
+func defaultQueryFraction() float64 { return workload.DefaultQueryByteFraction }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"basrpt/internal/fabricsim"
+	"basrpt/internal/runner"
+	"basrpt/internal/sched"
+	"basrpt/internal/workload"
+)
+
+func tinyScale() Scale {
+	return Scale{Racks: 2, HostsPerRack: 2, Duration: 0.4, Seed: 1}
+}
+
+// TestMultiFaultsParallel drives the fault-injection experiment through the
+// concurrent worker pool — with -race this is the proof that per-seed fault
+// schedules, injectors, and watchdogs share nothing across workers.
+func TestMultiFaultsParallel(t *testing.T) {
+	agg, err := RunMulti("faults", tinyScale(), 0, runner.Config{Seeds: 4, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"srpt/query_avg_ms", "fast/gbps", "srpt/recovered"} {
+		m := agg.Metric(name)
+		if m == nil || m.N != 4 {
+			t.Fatalf("metric %s missing or short: %+v", name, m)
+		}
+	}
+}
+
+// TestMultiParallelAggregatesMatchSerial checks the determinism contract at
+// the experiment level: the same spec aggregated on 1 and 4 workers renders
+// byte-identically.
+func TestMultiParallelAggregatesMatchSerial(t *testing.T) {
+	cfg := runner.Config{Seeds: 3, RootSeed: 7}
+	cfg.Parallel = 1
+	serial, err := RunMulti("table1", tinyScale(), 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 4
+	par, err := RunMulti("table1", tinyScale(), 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render("x") != par.Render("x") {
+		t.Fatalf("parallel render differs from serial:\n%s\nvs\n%s",
+			par.Render("x"), serial.Render("x"))
+	}
+}
+
+// TestMultiWatchdogTruncationParallel runs watchdog-truncated simulations
+// concurrently: a 1-byte backlog bound trips immediately in every
+// replicate, and the truncation diagnosis must still be populated per run
+// with no cross-worker interference.
+func TestMultiWatchdogTruncationParallel(t *testing.T) {
+	scale := tinyScale()
+	task := runner.Task{Name: "truncated", Run: func(seed uint64) (runner.Sample, error) {
+		s := scale
+		s.Seed = seed
+		topo, err := s.Topology()
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewMixed(workload.MixedConfig{
+			Topology:          topo,
+			Load:              0.9,
+			QueryByteFraction: workload.DefaultQueryByteFraction,
+			Duration:          s.Duration,
+			Seed:              seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim, err := fabricsim.New(fabricsim.Config{
+			Hosts:     topo.NumHosts(),
+			LinkBps:   topo.HostLinkBps(),
+			Scheduler: sched.NewSRPT(),
+			Generator: gen,
+			Duration:  s.Duration,
+			Seed:      seed,
+			Watchdog:  &fabricsim.Watchdog{MaxBacklogBytes: 1},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return nil, err
+		}
+		truncated := 0.0
+		if res.Truncated() {
+			truncated = 1
+			if res.Diagnosis.Reason == "" {
+				t.Error("truncated run lacks a diagnosis reason")
+			}
+		}
+		return runner.Sample{"truncated": truncated, "sim_end_s": res.Diagnosis.SimTime}, nil
+	}}
+	agg, err := runner.Run(runner.Config{Seeds: 4, Parallel: 4}, []runner.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := agg.Metric("truncated/truncated")
+	if m == nil || m.Mean != 1 {
+		t.Fatalf("expected every replicate truncated, got %+v", m)
+	}
+}
+
+// TestMultiSpecsCoverEveryExperiment pins the -exp ids that must have a
+// multi-seed form (and that the long-horizon stability showcase must not).
+func TestMultiSpecsCoverEveryExperiment(t *testing.T) {
+	for _, name := range []string{
+		"fig1", "fig2", "table1", "fig5", "fig6", "fig7", "fig8",
+		"theory", "dtmc", "ablation", "distributed", "incast", "noise", "faults",
+	} {
+		if MultiSpecFor(name) == nil {
+			t.Errorf("experiment %q has no multi-seed spec", name)
+		}
+	}
+	if MultiSpecFor("stability") != nil {
+		t.Error("stability should stay single-seed")
+	}
+	if _, err := RunMulti("stability", tinyScale(), 0, runner.Config{Seeds: 2}); err == nil ||
+		!strings.Contains(err.Error(), "no multi-seed form") {
+		t.Errorf("RunMulti(stability) error = %v", err)
+	}
+}
+
+// TestMultiFaultSeedVariesPerReplicate checks that the faults spec derives
+// the fault schedule from the replicate seed: two replicates must not see
+// the same schedule (the whole point of multi-seed resilience runs).
+func TestMultiFaultSeedVariesPerReplicate(t *testing.T) {
+	s1 := DeriveSeedForTest(1, 0)
+	s2 := DeriveSeedForTest(1, 1)
+	r1, err := RunFaults(tinyScale(), 0, Run{Seed: s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFaults(tinyScale(), 0, Run{Seed: s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FaultSeed == r2.FaultSeed {
+		t.Fatalf("replicates share fault seed %d", r1.FaultSeed)
+	}
+	if r1.Schedule.String() == r2.Schedule.String() {
+		t.Fatal("replicates drew identical fault schedules")
+	}
+}
+
+// DeriveSeedForTest re-exports runner.DeriveSeed so the test reads like the
+// harness code it mirrors.
+func DeriveSeedForTest(root uint64, stream int) uint64 {
+	return runner.DeriveSeed(root, stream)
+}

@@ -47,14 +47,12 @@ type TheoremResult struct {
 
 // RunTheorem1 executes E9. n is the slotted switch size, load the per-port
 // packet load, slots the horizon, vs the V values (nil selects a doubling
-// ladder).
-func RunTheorem1(n int, load float64, slots int64, vs []float64, seed uint64) (*TheoremResult, error) {
+// ladder). run.Seed drives the Bernoulli arrival streams.
+func RunTheorem1(n int, load float64, slots int64, vs []float64, run Run) (*TheoremResult, error) {
 	if len(vs) == 0 {
 		vs = []float64{1, 4, 16, 64, 256}
 	}
-	if seed == 0 {
-		seed = 1
-	}
+	seed := run.withDefaults().Seed
 	if slots <= 0 {
 		return nil, fmt.Errorf("theorem1: non-positive horizon %d", slots)
 	}

@@ -10,6 +10,14 @@
 // paper specifies — "the scheduling decision is updated when a flow comes
 // or a transfer completes". Events are flow arrivals, flow completions,
 // and metric sampling ticks.
+//
+// A Sim single-steps one simulation and is not safe for concurrent use;
+// neither are the Scheduler, Generator, or faults.Injector it is
+// configured with. Parallel experiments (the internal/runner worker pool)
+// therefore build a complete Sim — scheduler included — inside each worker
+// task rather than sharing components. Results, including watchdog
+// truncation diagnoses, are plain values that are safe to read from any
+// goroutine once Run returns.
 package fabricsim
 
 import (

@@ -11,6 +11,13 @@
 // it does so deterministically: the same Params produce a byte-identical
 // Schedule and the same injector draws, so every fault run is replayable
 // for debugging.
+//
+// Concurrency contract: a Schedule is immutable after Generate and may be
+// shared across goroutines, but an Injector holds RNG state for its loss
+// draws and must not be — construct one Injector per simulation. The
+// multi-seed harness (internal/runner) relies on this split: concurrent
+// replicates each generate their own schedule from a derived seed and wrap
+// it in a private injector.
 package faults
 
 import (

@@ -20,6 +20,9 @@
 // Schedulers run on every flow arrival and completion, so the greedy core
 // reuses its scratch buffers between calls; construct disciplines with
 // their New* constructors and do not share one instance across goroutines.
+// The multi-seed worker pool (internal/runner) honors this by invoking the
+// constructor inside each replicate's task, so every concurrent simulation
+// owns a private scheduler instance.
 package sched
 
 import (

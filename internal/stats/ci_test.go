@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{0, 0}, {-3, 0},
+		{1, 12.706}, {4, 2.776}, {10, 2.228}, {30, 2.042},
+		{35, 2.021}, {50, 2.000}, {100, 1.980}, {1000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Fatalf("TCritical95(%d) = %g, want %g", c.df, got, c.want)
+		}
+	}
+	// The sequence must be monotone non-increasing: more data never widens
+	// the interval multiplier.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCritical95(df)
+		if v > prev {
+			t.Fatalf("TCritical95 not monotone at df=%d: %g > %g", df, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	// {1,2,3,4,5}: mean 3, s = sqrt(2.5), df 4 → half = 2.776·s/√5.
+	mean, half := MeanCI95([]float64{1, 2, 3, 4, 5})
+	wantHalf := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(mean-3) > 1e-12 || math.Abs(half-wantHalf) > 1e-12 {
+		t.Fatalf("MeanCI95 = %g ± %g, want 3 ± %g", mean, half, wantHalf)
+	}
+}
+
+func TestCI95DegenerateInputs(t *testing.T) {
+	if _, half := MeanCI95(nil); half != 0 {
+		t.Fatalf("empty: half = %g, want 0", half)
+	}
+	if _, half := MeanCI95([]float64{7}); half != 0 {
+		t.Fatalf("single: half = %g, want 0", half)
+	}
+	if _, half := MeanCI95([]float64{4, 4, 4, 4}); half != 0 {
+		t.Fatalf("constant: half = %g, want 0", half)
+	}
+}
+
+func TestSummaryCI95MatchesMeanCI95(t *testing.T) {
+	values := []float64{0.3, 1.9, -2.5, 8, 4.4, 0.01}
+	var s Summary
+	for _, v := range values {
+		s.Add(v)
+	}
+	_, half := MeanCI95(values)
+	if math.Abs(s.CI95()-half) > 1e-12 {
+		t.Fatalf("Summary.CI95 %g != MeanCI95 %g", s.CI95(), half)
+	}
+}
