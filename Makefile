@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke cover experiments stability fuzz clean
+.PHONY: all build test race vet bench bench-smoke bench-sched cover experiments stability fuzz clean
 
 all: build test
 
@@ -27,6 +27,21 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/basrptbench -exp table1 -scale small -duration 0.5 \
 		-seeds 4 -parallel 4 -benchjson BENCH_runner.json
+
+# Scheduling-core regression check: the BenchmarkSchedule* old-vs-new
+# microbenchmarks (N=144 ports, high-load candidate population), then the
+# fabric-level pairs on the paper's 144-host topology at 0.8 load —
+# incremental candidate index versus forced from-scratch on byte-identical
+# runs — emitting decisions/sec and speedup to BENCH_sched.json (uploaded
+# as a CI artifact alongside BENCH_runner.json).
+bench-sched:
+	$(GO) test -run NONE -bench 'BenchmarkSchedule' -benchmem ./internal/sched/
+	$(GO) run ./cmd/basrptbench -schedbench BENCH_sched.json \
+		-racks 12 -hosts 12 -duration $(SCHEDBENCH_DURATION)
+
+# Simulated horizon of the bench-sched fabric pairs. 20 ms of simulated
+# time at 144 hosts is ~38k scheduling decisions per arm.
+SCHEDBENCH_DURATION ?= 0.02
 
 cover:
 	$(GO) test -cover ./...

@@ -270,6 +270,11 @@ type (
 	// FaultsResult compares SRPT and fast BASRPT under identical injected
 	// fault schedules.
 	FaultsResult = core.FaultsResult
+	// SchedBenchResult compares the incremental scheduling core against
+	// the from-scratch baseline on byte-identical runs.
+	SchedBenchResult = core.SchedBenchResult
+	// SchedBenchRow is one discipline's old-vs-new decision-rate row.
+	SchedBenchRow = core.SchedBenchRow
 )
 
 // Multi-seed experiment running (see internal/runner).
@@ -368,6 +373,14 @@ func RunNoise(scale Scale, v, load float64, levels []float64) (*NoiseResult, err
 // (incast) pattern.
 func RunIncast(scale Scale, v float64, fanout int, jobsPerSecond, backgroundLoad float64) (*IncastResult, error) {
 	return core.RunIncast(scale, v, fanout, jobsPerSecond, backgroundLoad)
+}
+
+// RunSchedBench benchmarks the incremental scheduling core against the
+// from-scratch baseline: every index-routed discipline runs twice on the
+// identical arrival stream and reports measured decisions/sec for both
+// arms (load <= 0 selects the 0.8 default).
+func RunSchedBench(scale Scale, load float64) (*SchedBenchResult, error) {
+	return core.RunSchedBench(scale, load)
 }
 
 // RunFaults compares SRPT and fast BASRPT under byte-identical workloads

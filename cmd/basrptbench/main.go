@@ -17,6 +17,11 @@
 // aggregates are byte-identical for any -parallel value. Pass -benchjson
 // to also time a serial rerun and write a speedup report (the
 // benchmark-regression artifact BENCH_runner.json).
+//
+// With -schedbench PATH the tool skips the experiments and instead times
+// the incremental scheduling core against the from-scratch baseline on
+// byte-identical runs at 0.8 load, writing decisions/sec and speedup per
+// discipline to PATH (the CI artifact BENCH_sched.json).
 package main
 
 import (
@@ -58,6 +63,7 @@ func run(args []string, w io.Writer) error {
 		seeds     = fs.Int("seeds", 1, "independent replicates per experiment; > 1 switches to aggregated ±ci output")
 		parallel  = fs.Int("parallel", 0, "worker count for multi-seed runs (0 = GOMAXPROCS)")
 		benchJSON = fs.String("benchjson", "", "multi-seed only: also rerun serially and write a runs/sec + speedup report to this path")
+		schedJSON = fs.String("schedbench", "", "instead of experiments: benchmark the incremental scheduling core against the from-scratch baseline at this scale (load 0.8) and write decisions/sec + speedup to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +85,13 @@ func run(args []string, w io.Writer) error {
 	}
 	if *hosts > 0 {
 		scale.HostsPerRack = *hosts
+	}
+
+	if *schedJSON != "" {
+		if *seeds > 1 {
+			return fmt.Errorf("-schedbench runs single-seed pairs (drop -seeds)")
+		}
+		return runSchedBench(w, scale, *schedJSON)
 	}
 
 	wanted := strings.Split(*exp, ",")
@@ -372,6 +385,44 @@ type benchExperiment struct {
 type benchReport struct {
 	GOMAXPROCS  int               `json:"gomaxprocs"`
 	Experiments []benchExperiment `json:"experiments"`
+}
+
+// schedReport is the -schedbench artifact (BENCH_sched.json in CI): the
+// measured decision rate of every index-routed discipline with the
+// incremental candidate index on versus forced from-scratch, so the perf
+// trajectory of the scheduling core is tracked across commits.
+type schedReport struct {
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Scale      string                 `json:"scale"`
+	Load       float64                `json:"load"`
+	Schedulers []basrpt.SchedBenchRow `json:"schedulers"`
+}
+
+// runSchedBench is the -schedbench path: old-vs-new scheduling-core pairs
+// on byte-identical runs, rendered as a table and written as JSON.
+func runSchedBench(w io.Writer, scale basrpt.Scale, path string) error {
+	start := time.Now()
+	res, err := basrpt.RunSchedBench(scale, 0)
+	if err != nil {
+		return fmt.Errorf("schedbench: %w", err)
+	}
+	fmt.Fprintln(w, res.Render())
+	fmt.Fprintf(w, "[schedbench took %s]\n", time.Since(start).Round(time.Millisecond))
+	report := schedReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      res.Scale.String(),
+		Load:       res.Load,
+		Schedulers: res.Rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("schedbench: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("schedbench: %w", err)
+	}
+	fmt.Fprintf(w, "[sched report written to %s]\n", path)
+	return nil
 }
 
 // runMultiSeed is the -seeds > 1 path: every selected experiment fans its

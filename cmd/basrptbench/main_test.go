@@ -185,6 +185,53 @@ func TestMultiSeedCSVAndBenchJSON(t *testing.T) {
 	}
 }
 
+// TestSchedBenchJSON checks the -schedbench mode: the old-vs-new
+// scheduling-core report renders per-discipline decision rates and lands
+// as valid JSON (the BENCH_sched.json CI artifact).
+func TestSchedBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sched.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-schedbench", path, "-racks", "2", "-hosts", "3", "-duration", "0.3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatalf("schedbench output lacks speedup column:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Scale      string  `json:"scale"`
+		Load       float64 `json:"load"`
+		Schedulers []struct {
+			Discipline      string  `json:"discipline"`
+			Decisions       int64   `json:"decisions"`
+			IncrementalRate float64 `json:"incremental_decisions_per_sec"`
+			FromScratchRate float64 `json:"fromscratch_decisions_per_sec"`
+			Speedup         float64 `json:"speedup"`
+		} `json:"schedulers"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("sched report not valid JSON: %v\n%s", err, raw)
+	}
+	if report.GOMAXPROCS < 1 || report.Load != 0.8 || len(report.Schedulers) != 4 {
+		t.Fatalf("sched report shape wrong: %+v", report)
+	}
+	for _, row := range report.Schedulers {
+		if row.Decisions <= 0 || row.IncrementalRate <= 0 || row.FromScratchRate <= 0 || row.Speedup <= 0 {
+			t.Fatalf("sched row not measured: %+v", row)
+		}
+	}
+	if err := run([]string{"-schedbench", path, "-seeds", "2"}, &buf); err == nil {
+		t.Fatal("-schedbench with -seeds accepted")
+	}
+}
+
 // TestMultiSeedRejectsBadFlags pins the multi-seed flag validation.
 func TestMultiSeedRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer

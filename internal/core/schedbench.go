@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"basrpt/internal/fabricsim"
+	"basrpt/internal/sched"
+	"basrpt/internal/trace"
+	"basrpt/internal/workload"
+)
+
+// SchedBenchLoad is the default per-port load of the scheduling-core
+// benchmark: high enough that the candidate population (and hence the
+// from-scratch rebuild cost) is substantial, but still stable.
+const SchedBenchLoad = 0.8
+
+// schedBenchScheduler is the toggle surface every index-routed discipline
+// exports; the benchmark flips it to build the from-scratch arm.
+type schedBenchScheduler interface {
+	sched.Scheduler
+	SetIncremental(on bool)
+}
+
+// SchedBenchRow compares one discipline's incremental candidate index
+// against the from-scratch gather-and-sort it replaced, measured on
+// byte-identical runs in the same process. The JSON tags shape
+// BENCH_sched.json, the perf-trajectory artifact CI archives per commit.
+type SchedBenchRow struct {
+	Discipline      string  `json:"discipline"`
+	Decisions       int64   `json:"decisions"`
+	IncrementalSec  float64 `json:"incremental_sec"`
+	FromScratchSec  float64 `json:"fromscratch_sec"`
+	IncrementalRate float64 `json:"incremental_decisions_per_sec"`
+	FromScratchRate float64 `json:"fromscratch_decisions_per_sec"`
+	// Speedup is IncrementalRate / FromScratchRate — equivalently the
+	// wall-clock ratio, since both arms take the same decision sequence.
+	Speedup float64 `json:"speedup"`
+}
+
+// SchedBenchResult is the old-vs-new scheduling-core comparison across
+// every discipline routed through the incremental index.
+type SchedBenchResult struct {
+	Scale Scale
+	Load  float64
+	Rows  []SchedBenchRow
+}
+
+// RunSchedBench runs each index-routed discipline twice on the identical
+// arrival stream — incremental index on, then forced from-scratch — and
+// reports measured decisions/sec for both arms. load <= 0 selects
+// SchedBenchLoad. The decision sequences must agree (the incremental core
+// is bit-exact, see internal/sched); any divergence in the deterministic
+// counters is an error, so a reported speedup always compares equal work.
+func RunSchedBench(scale Scale, load float64) (*SchedBenchResult, error) {
+	scale = scale.withDefaults()
+	if load <= 0 {
+		load = SchedBenchLoad
+	}
+	if load >= 1 {
+		return nil, fmt.Errorf("sched bench: load %g outside (0, 1)", load)
+	}
+	disciplines := []struct {
+		name string
+		mk   func() schedBenchScheduler
+	}{
+		{"fast-basrpt", func() schedBenchScheduler { return sched.NewFastBASRPT(DefaultV) }},
+		{"srpt", func() schedBenchScheduler { return sched.NewSRPT() }},
+		{"maxweight", func() schedBenchScheduler { return sched.NewMaxWeight() }},
+		{"threshold", func() schedBenchScheduler { return sched.NewThresholdBacklog(5e6) }},
+	}
+	res := &SchedBenchResult{Scale: scale, Load: load}
+	for _, d := range disciplines {
+		inc, err := runFabricQF(scale, d.mk(), load, workload.DefaultQueryByteFraction)
+		if err != nil {
+			return nil, fmt.Errorf("sched bench %s incremental run: %w", d.name, err)
+		}
+		old := d.mk()
+		old.SetIncremental(false)
+		scratch, err := runFabricQF(scale, old, load, workload.DefaultQueryByteFraction)
+		if err != nil {
+			return nil, fmt.Errorf("sched bench %s from-scratch run: %w", d.name, err)
+		}
+		if err := sameWork(inc, scratch); err != nil {
+			return nil, fmt.Errorf("sched bench %s: arms diverged, speedup would compare unequal work: %w", d.name, err)
+		}
+		row := SchedBenchRow{
+			Discipline:      d.name,
+			Decisions:       inc.Decisions,
+			IncrementalSec:  float64(inc.SchedNanos) * 1e-9,
+			FromScratchSec:  float64(scratch.SchedNanos) * 1e-9,
+			IncrementalRate: inc.DecisionsPerSec(),
+			FromScratchRate: scratch.DecisionsPerSec(),
+		}
+		if row.FromScratchRate > 0 {
+			row.Speedup = row.IncrementalRate / row.FromScratchRate
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// sameWork cross-checks the deterministic counters of the two arms.
+func sameWork(a, b *fabricsim.Result) error {
+	if a.Decisions != b.Decisions {
+		return fmt.Errorf("decision counts %d vs %d", a.Decisions, b.Decisions)
+	}
+	if a.CompletedFlows != b.CompletedFlows || a.DepartedBytes != b.DepartedBytes {
+		return fmt.Errorf("completions %d/%g vs %d/%g",
+			a.CompletedFlows, a.DepartedBytes, b.CompletedFlows, b.DepartedBytes)
+	}
+	return nil
+}
+
+// Render prints the per-discipline decision-rate comparison.
+func (r *SchedBenchResult) Render() string {
+	tbl := trace.Table{
+		Title:   fmt.Sprintf("Scheduling core — incremental vs from-scratch at %.0f%% load, %s", r.Load*100, r.Scale),
+		Headers: []string{"discipline", "decisions", "incremental dec/s", "from-scratch dec/s", "speedup"},
+	}
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Discipline,
+			fmt.Sprintf("%d", row.Decisions),
+			fmt.Sprintf("%.0f", row.IncrementalRate),
+			fmt.Sprintf("%.0f", row.FromScratchRate),
+			fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	var b strings.Builder
+	b.WriteString(tbl.Render())
+	b.WriteString("\nboth arms replay byte-identical decision sequences; speedup compares equal work\n")
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSchedBench exercises the old-vs-new harness at unit-test scale:
+// every routed discipline must report matched work and positive measured
+// rates for both arms.
+func TestRunSchedBench(t *testing.T) {
+	res, err := RunSchedBench(Scale{Racks: 2, HostsPerRack: 3, Duration: 0.4, Seed: 3}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load != 0.7 {
+		t.Fatalf("load %g, want 0.7", res.Load)
+	}
+	want := map[string]bool{"fast-basrpt": true, "srpt": true, "maxweight": true, "threshold": true}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		if !want[row.Discipline] {
+			t.Fatalf("unexpected discipline %q", row.Discipline)
+		}
+		if row.Decisions <= 0 {
+			t.Fatalf("%s: no decisions taken", row.Discipline)
+		}
+		if row.IncrementalRate <= 0 || row.FromScratchRate <= 0 {
+			t.Fatalf("%s: rates not measured: %+v", row.Discipline, row)
+		}
+		if row.Speedup <= 0 {
+			t.Fatalf("%s: speedup not computed: %+v", row.Discipline, row)
+		}
+	}
+	out := res.Render()
+	for name := range want {
+		if !strings.Contains(out, name) {
+			t.Fatalf("render lacks %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("render lacks speedup column:\n%s", out)
+	}
+}
+
+func TestRunSchedBenchRejectsBadLoad(t *testing.T) {
+	if _, err := RunSchedBench(ScaleSmall, 1.5); err == nil {
+		t.Fatal("load 1.5 accepted")
+	}
+}

@@ -107,11 +107,15 @@ type Diagnosis struct {
 	Events int64
 	// Seed echoes Config.Seed for replay.
 	Seed uint64
+	// TableEpoch is the VOQ table's mutation epoch at the stop (see
+	// flow.Table change tracking) — together with Seed it pins the exact
+	// table state for replaying incremental-index divergences.
+	TableEpoch uint64
 }
 
 func (d *Diagnosis) String() string {
-	return fmt.Sprintf("truncated (%s) at t=%.4gs: backlog %.4g bytes after %d decisions (seed %d)",
-		d.Reason, d.SimTime, d.BacklogBytes, d.Events, d.Seed)
+	return fmt.Sprintf("truncated (%s) at t=%.4gs: backlog %.4g bytes after %d decisions (seed %d, epoch %d)",
+		d.Reason, d.SimTime, d.BacklogBytes, d.Events, d.Seed, d.TableEpoch)
 }
 
 // wallClockCheckEvery is how many event-loop iterations pass between
@@ -138,6 +142,12 @@ type Result struct {
 	LeftoverBytes  float64
 	LeftoverFlows  int
 	Decisions      int64
+	// SchedNanos is the cumulative wall-clock time spent inside
+	// Scheduler.Schedule, in nanoseconds. It is measured, not simulated —
+	// machine-dependent by nature — so it feeds the scheduling benchmarks
+	// (BENCH_sched.json) and never enters the deterministic sample
+	// aggregates the multi-seed runner compares across worker counts.
+	SchedNanos int64
 	// Duration is the simulated time covered: the configured horizon, or
 	// the truncation point when the watchdog stopped the run early.
 	Duration      float64
@@ -160,6 +170,16 @@ func (r *Result) AverageGbps() float64 {
 	return r.Throughput.AverageGbps(r.Duration)
 }
 
+// DecisionsPerSec returns the measured scheduling throughput: decisions
+// divided by the wall-clock time spent inside Scheduler.Schedule. Zero
+// when the run took no decisions (or none were timed).
+func (r *Result) DecisionsPerSec() float64 {
+	if r.SchedNanos <= 0 {
+		return 0
+	}
+	return float64(r.Decisions) / (float64(r.SchedNanos) * 1e-9)
+}
+
 // Sim is a single fabric simulation. Build with New, execute with Run.
 type Sim struct {
 	cfg    Config
@@ -170,8 +190,18 @@ type Sim struct {
 	decision []*flow.Flow
 	byteRate float64 // bytes/s per selected flow at full link rate
 
+	// nextCompletion caches the absolute time the earliest transmitting
+	// flow finishes (+Inf: none will on its own). advanceTo refreshes it
+	// during its drain pass and reschedule after each new decision, so the
+	// event loop reads it instead of rescanning the decision every event.
+	nextCompletion float64
+
 	scheduler sched.Scheduler       // cfg.Scheduler, possibly wrapped
 	fallback  *sched.OutageFallback // non-nil iff faults are injected
+	// clearsDirty: the configured scheduler does not consume the table's
+	// dirty-VOQ feed, so the sim clears it after every decision to keep
+	// the dirty set from growing without bound.
+	clearsDirty bool
 
 	pendingArrival  workload.Arrival
 	hasPending      bool
@@ -220,11 +250,12 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("fabricsim: negative watchdog bound %+v", *wd)
 	}
 	s := &Sim{
-		cfg:       cfg,
-		table:     flow.NewTable(cfg.Hosts),
-		nextID:    1,
-		byteRate:  cfg.LinkBps / 8,
-		scheduler: cfg.Scheduler,
+		cfg:            cfg,
+		table:          flow.NewTable(cfg.Hosts),
+		nextID:         1,
+		byteRate:       cfg.LinkBps / 8,
+		nextCompletion: math.Inf(1),
+		scheduler:      cfg.Scheduler,
 		res: &Result{
 			FCT:           metrics.NewFCT(),
 			Throughput:    metrics.NewThroughput(cfg.ThroughputBucket),
@@ -240,14 +271,18 @@ func New(cfg Config) (*Sim, error) {
 		s.scheduler = s.fallback
 		s.res.SchedulerName = s.fallback.Name()
 	}
+	// Dirty-feed ownership (see the flow package's change-tracking
+	// contract): an index-maintaining scheduler consumes the feed itself;
+	// for everything else the sim is the consumer of record.
+	s.clearsDirty = !sched.IsDirtyConsumer(s.scheduler)
 	return s, nil
 }
 
 // errorf wraps a run failure with the context a sweep needs to replay it:
 // the seed, the simulated time reached, and the decision count.
 func (s *Sim) errorf(format string, args ...any) error {
-	return fmt.Errorf("fabricsim [seed=%d t=%gs events=%d]: %w",
-		s.cfg.Seed, s.now, s.res.Decisions, fmt.Errorf(format, args...))
+	return fmt.Errorf("fabricsim [seed=%d t=%gs events=%d epoch=%d]: %w",
+		s.cfg.Seed, s.now, s.res.Decisions, s.table.Epoch(), fmt.Errorf(format, args...))
 }
 
 // Run executes the simulation to the horizon and returns the metrics.
@@ -364,6 +399,7 @@ func (s *Sim) truncate(reason string) *Result {
 		BacklogBytes: res.LeftoverBytes,
 		Events:       res.Decisions,
 		Seed:         s.cfg.Seed,
+		TableEpoch:   s.table.Epoch(),
 	}
 	return res
 }
@@ -407,24 +443,21 @@ func (s *Sim) flowRate(f *flow.Flow) float64 {
 // nextCompletionTime returns when the earliest currently transmitting flow
 // finishes, assuming the decision and fault state stay fixed. Flows on a
 // fully failed link never complete on their own; a fault boundary or a
-// new decision unblocks them.
+// new decision unblocks them. The value is the cache advanceTo and
+// reschedule maintain — the decision is never rescanned here.
 func (s *Sim) nextCompletionTime() (float64, bool) {
-	minTime := math.Inf(1)
-	for _, f := range s.decision {
-		if rate := s.flowRate(f); rate > 0 {
-			if t := f.Remaining / rate; t < minTime {
-				minTime = t
-			}
-		}
-	}
-	if math.IsInf(minTime, 1) {
+	if math.IsInf(s.nextCompletion, 1) {
 		return 0, false
 	}
-	return s.now + minTime, true
+	return s.nextCompletion, true
 }
 
 // advanceTo drains the transmitting flows up to time t, each at its
-// current (possibly degraded) link rate.
+// current (possibly degraded) link rate, and refreshes the next-completion
+// cache from the post-drain residuals in the same pass. Rates only change
+// at fault boundaries, and every boundary forces a reschedule (which
+// recomputes the cache), so the rates read here stay valid until the cache
+// is next consulted.
 func (s *Sim) advanceTo(t float64) {
 	if t < s.now {
 		t = s.now
@@ -432,15 +465,20 @@ func (s *Sim) advanceTo(t float64) {
 	dt := t - s.now
 	if dt > 0 && len(s.decision) > 0 {
 		var drained float64
+		minTime := math.Inf(1)
 		for _, f := range s.decision {
 			if rate := s.flowRate(f); rate > 0 {
 				drained += s.table.Drain(f, dt*rate)
+				if left := f.Remaining / rate; left < minTime {
+					minTime = left
+				}
 			}
 		}
 		if drained > 0 {
 			s.res.Throughput.AddRange(s.now, t, drained)
 			s.res.DepartedBytes += drained
 		}
+		s.nextCompletion = t + minTime
 	}
 	s.now = t
 }
@@ -489,13 +527,29 @@ func (s *Sim) collectCompletions() bool {
 
 // reschedule recomputes the scheduling decision. During an injected
 // scheduler outage the fallback wrapper serves the held matching instead
-// of consulting the unreachable scheduler.
+// of consulting the unreachable scheduler (the dirty-VOQ feed then simply
+// accumulates until the scheduler's index is reachable again).
 func (s *Sim) reschedule() error {
 	if s.fallback != nil {
 		s.fallback.SetOutage(s.cfg.Faults.SchedulerDown(s.now))
 	}
+	start := time.Now()
 	s.decision = s.scheduler.Schedule(s.table)
+	s.res.SchedNanos += time.Since(start).Nanoseconds()
 	s.res.Decisions++
+	if s.clearsDirty {
+		s.table.ClearDirty()
+	}
+	// Fresh decision, fresh completion horizon, at the rates in force now.
+	minTime := math.Inf(1)
+	for _, f := range s.decision {
+		if rate := s.flowRate(f); rate > 0 {
+			if left := f.Remaining / rate; left < minTime {
+				minTime = left
+			}
+		}
+	}
+	s.nextCompletion = s.now + minTime
 	if s.cfg.ValidateDecisions {
 		if err := sched.ValidateDecision(s.cfg.Hosts, s.decision); err != nil {
 			return s.errorf("%w", err)
@@ -509,8 +563,10 @@ func (s *Sim) reschedule() error {
 	return nil
 }
 
-// deepValidate recomputes every backlog aggregate from the live flows and
-// compares against the table's incremental accounting.
+// deepValidate recomputes every backlog aggregate from the live flows,
+// compares against the table's incremental accounting, and cross-checks
+// the scheduler's incremental candidate index (when it maintains one)
+// against a from-scratch view of the table.
 func (s *Sim) deepValidate() error {
 	n := s.cfg.Hosts
 	ingress := make([]float64, n)
@@ -521,26 +577,27 @@ func (s *Sim) deepValidate() error {
 		for j := 0; j < n; j++ {
 			q := s.table.VOQ(i, j)
 			var qSum float64
-			var prev *flow.Flow
 			for _, f := range q.Flows() {
 				if !f.Attached() {
-					return fmt.Errorf("deep validate: detached flow %d inside VOQ (%d,%d)", f.ID, i, j)
+					return fmt.Errorf("deep validate: VOQ (%d,%d) holds detached flow %d (remaining %g)",
+						i, j, f.ID, f.Remaining)
 				}
 				if f.Src != i || f.Dst != j {
-					return fmt.Errorf("deep validate: flow %d (%d->%d) in VOQ (%d,%d)", f.ID, f.Src, f.Dst, i, j)
+					return fmt.Errorf("deep validate: VOQ (%d,%d) holds misfiled flow %d addressed %d->%d",
+						i, j, f.ID, f.Src, f.Dst)
 				}
 				if f.Remaining < 0 {
-					return fmt.Errorf("deep validate: flow %d has negative remaining %g", f.ID, f.Remaining)
+					return fmt.Errorf("deep validate: VOQ (%d,%d) flow %d has negative remaining %g",
+						i, j, f.ID, f.Remaining)
 				}
 				qSum += f.Remaining
 				flows++
-				_ = prev
 			}
 			if top := q.Top(); top != nil {
 				for _, f := range q.Flows() {
 					if f.Remaining < top.Remaining {
-						return fmt.Errorf("deep validate: VOQ (%d,%d) top %g not minimal (flow %d has %g)",
-							i, j, top.Remaining, f.ID, f.Remaining)
+						return fmt.Errorf("deep validate: VOQ (%d,%d) top is flow %d (remaining %g) but flow %d has %g",
+							i, j, top.ID, top.Remaining, f.ID, f.Remaining)
 					}
 				}
 			}
@@ -569,6 +626,9 @@ func (s *Sim) deepValidate() error {
 	if !closeEnough(s.res.ArrivedBytes, s.res.DepartedBytes+total) {
 		return fmt.Errorf("deep validate: conservation broken (arrived %g, departed %g, backlog %g)",
 			s.res.ArrivedBytes, s.res.DepartedBytes, total)
+	}
+	if err := sched.CheckIndex(s.scheduler, s.table); err != nil {
+		return fmt.Errorf("deep validate: %w", err)
 	}
 	return nil
 }

@@ -9,6 +9,28 @@
 // best candidate is the minimum-remaining flow (queue length is shared by
 // every flow in a VOQ), so the table exposes exactly that candidate in
 // O(1) and keeps it correct in O(log q) per update.
+//
+// # Change tracking
+//
+// Table additionally feeds incremental consumers (the candidate index in
+// internal/sched) through a change-tracking layer:
+//
+//   - Epoch() is a monotone counter bumped by every mutation (Add, Remove,
+//     and any Drain that moves bytes).
+//   - The dirty set holds every VOQ mutated since the last ClearDirty,
+//     readable via DirtyVOQs/ForEachDirty/NumDirty. A single fabric event
+//     dirties O(decision size) VOQs, so the set is the per-event delta a
+//     consumer needs — VOQs outside it are bit-for-bit unchanged.
+//   - ClearDirty() empties the set and stamps DirtyBasis() with the
+//     current epoch.
+//
+// The feed supports exactly one owning consumer at a time: whoever calls
+// ClearDirty owns the delta. A consumer remembers the (table, DirtyBasis)
+// pair it last synchronized at; when the pair still matches, the dirty set
+// is precisely the consumer's delta, otherwise (first call, table swap, a
+// different consumer cleared in between) it must resynchronize from
+// scratch. Non-consuming readers may mutate the table freely — they only
+// grow the dirty set, never invalidate it.
 package flow
 
 import "fmt"

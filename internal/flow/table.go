@@ -5,12 +5,22 @@ import "fmt"
 // Table is the full N×N VOQ state of the big switch. It tracks which VOQs
 // are non-empty (for fast scheduler iteration), per-ingress-port backlogs
 // (what the paper plots as "queue length at a port"), and total counts.
+//
+// The table also carries a change-tracking layer for incremental
+// consumers (see the package doc's "Change tracking" contract): every
+// state mutation bumps Epoch and marks the touched VOQ dirty until the
+// owning consumer calls ClearDirty.
 type Table struct {
 	n    int
 	voqs []VOQ
 
 	nonEmpty    []int // VOQ indices with at least one flow
 	nonEmptyPos []int // voq index -> position in nonEmpty, -1 if absent
+
+	epoch      uint64 // total mutations since construction
+	dirtyBasis uint64 // epoch value at the last ClearDirty
+	dirty      []int  // VOQ indices mutated since the last ClearDirty
+	dirtyPos   []int  // voq index -> position in dirty, -1 if clean
 
 	ingressBacklog []float64
 	egressBacklog  []float64
@@ -29,6 +39,7 @@ func NewTable(n int) *Table {
 		n:              n,
 		voqs:           make([]VOQ, n*n),
 		nonEmptyPos:    make([]int, n*n),
+		dirtyPos:       make([]int, n*n),
 		ingressBacklog: make([]float64, n),
 		egressBacklog:  make([]float64, n),
 		ingressFlows:   make([]int, n),
@@ -38,6 +49,7 @@ func NewTable(n int) *Table {
 		t.voqs[i].Src = i / n
 		t.voqs[i].Dst = i % n
 		t.nonEmptyPos[i] = -1
+		t.dirtyPos[i] = -1
 	}
 	return t
 }
@@ -78,6 +90,7 @@ func (t *Table) Add(f *Flow) {
 		t.nonEmptyPos[i] = len(t.nonEmpty)
 		t.nonEmpty = append(t.nonEmpty, i)
 	}
+	t.markDirty(i)
 	t.ingressBacklog[f.Src] += f.Remaining
 	t.egressBacklog[f.Dst] += f.Remaining
 	t.ingressFlows[f.Src]++
@@ -97,6 +110,7 @@ func (t *Table) Remove(f *Flow) {
 	if q.Len() == 0 {
 		t.dropNonEmpty(i)
 	}
+	t.markDirty(i)
 	t.ingressBacklog[f.Src] -= f.Remaining
 	t.egressBacklog[f.Dst] -= f.Remaining
 	t.ingressFlows[f.Src]--
@@ -117,12 +131,17 @@ func (t *Table) Drain(f *Flow, amount float64) float64 {
 	if amount > f.Remaining {
 		amount = f.Remaining
 	}
+	if amount == 0 {
+		return 0 // nothing left to drain: no state change, stays clean
+	}
 	f.Remaining -= amount
-	q := &t.voqs[t.idx(f.Src, f.Dst)]
+	i := t.idx(f.Src, f.Dst)
+	q := &t.voqs[i]
 	q.adjust(f, -amount)
 	t.ingressBacklog[f.Src] -= amount
 	t.egressBacklog[f.Dst] -= amount
 	t.clampPort(f.Src, f.Dst)
+	t.markDirty(i)
 	return amount
 }
 
@@ -169,6 +188,64 @@ func (t *Table) ForEachNonEmpty(fn func(q *VOQ)) {
 
 // NumNonEmpty returns how many VOQs currently hold flows.
 func (t *Table) NumNonEmpty() int { return len(t.nonEmpty) }
+
+// markDirty records a mutation of VOQ index i: it bumps the epoch and adds
+// the VOQ to the dirty set unless already present.
+func (t *Table) markDirty(i int) {
+	t.epoch++
+	if t.dirtyPos[i] < 0 {
+		t.dirtyPos[i] = len(t.dirty)
+		t.dirty = append(t.dirty, i)
+	}
+}
+
+// Epoch returns the total number of state mutations (Add, Remove,
+// non-zero Drain) applied to the table since construction. It increases
+// monotonically and never resets.
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// DirtyBasis returns the epoch value recorded at the last ClearDirty (zero
+// before the first). The dirty set holds exactly the VOQs mutated since
+// that epoch, so an incremental consumer that remembers the basis it
+// synchronized at can tell whether the dirty set still describes its delta
+// (basis unchanged) or another consumer cleared it in between (basis
+// advanced — fall back to a full rebuild).
+func (t *Table) DirtyBasis() uint64 { return t.dirtyBasis }
+
+// NumDirty returns the size of the dirty set.
+func (t *Table) NumDirty() int { return len(t.dirty) }
+
+// DirtyVOQs appends pointers to every VOQ mutated since the last
+// ClearDirty to dst and returns it. Dirty VOQs may be empty (their last
+// flow was removed) — that emptiness is itself the change a consumer must
+// observe. The order is unspecified but deterministic for a given event
+// history.
+func (t *Table) DirtyVOQs(dst []*VOQ) []*VOQ {
+	for _, i := range t.dirty {
+		dst = append(dst, &t.voqs[i])
+	}
+	return dst
+}
+
+// ForEachDirty calls fn for every VOQ mutated since the last ClearDirty,
+// without allocating. fn must not add or remove flows.
+func (t *Table) ForEachDirty(fn func(q *VOQ)) {
+	for _, i := range t.dirty {
+		fn(&t.voqs[i])
+	}
+}
+
+// ClearDirty empties the dirty set and records the current epoch as the
+// new dirty basis. The consumer that owns the table's change feed calls
+// this after applying the delta; see the package doc for the single-
+// consumer contract.
+func (t *Table) ClearDirty() {
+	for _, i := range t.dirty {
+		t.dirtyPos[i] = -1
+	}
+	t.dirty = t.dirty[:0]
+	t.dirtyBasis = t.epoch
+}
 
 // IngressBacklog returns the total remaining size queued at ingress port i —
 // the per-server queue length plotted in the paper's Figures 2 and 5(b).

@@ -17,6 +17,8 @@ type MaxWeight struct {
 }
 
 var _ Scheduler = (*MaxWeight)(nil)
+var _ DirtyConsumer = (*MaxWeight)(nil)
+var _ IndexChecker = (*MaxWeight)(nil)
 
 // NewMaxWeight returns a MaxWeight scheduler.
 func NewMaxWeight() *MaxWeight { return &MaxWeight{} }
@@ -24,10 +26,22 @@ func NewMaxWeight() *MaxWeight { return &MaxWeight{} }
 // Name returns "maxweight".
 func (*MaxWeight) Name() string { return "maxweight" }
 
-// Schedule selects flows greedily by descending VOQ backlog.
+func (*MaxWeight) key(c Candidate) float64 { return -c.QueueLen }
+
+// Schedule selects flows greedily by descending VOQ backlog, maintained
+// in the incremental candidate index.
 func (s *MaxWeight) Schedule(t *flow.Table) []*flow.Flow {
-	return s.g.schedule(t, func(c Candidate) float64 { return -c.QueueLen })
+	return s.g.scheduleIndexed(t, s.key)
 }
+
+// SetIncremental toggles the incremental candidate index (on by default).
+func (s *MaxWeight) SetIncremental(on bool) { s.g.setIncremental(on) }
+
+// ConsumesDirty implements DirtyConsumer.
+func (s *MaxWeight) ConsumesDirty() bool { return s.g.consumesDirty() }
+
+// CheckIndex implements IndexChecker.
+func (s *MaxWeight) CheckIndex(t *flow.Table) error { return s.g.checkIndex(t, s.key) }
 
 // FIFOMatch serves flows in arrival order: the oldest flow among the
 // non-empty VOQs wins each greedy step. It is the classic "fair but slow"
@@ -76,6 +90,8 @@ type ThresholdBacklog struct {
 }
 
 var _ Scheduler = (*ThresholdBacklog)(nil)
+var _ DirtyConsumer = (*ThresholdBacklog)(nil)
+var _ IndexChecker = (*ThresholdBacklog)(nil)
 
 // NewThresholdBacklog returns the threshold strategy. threshold is the
 // backlog level (same unit as flow sizes) above which a VOQ jumps the SRPT
@@ -90,17 +106,30 @@ func (s *ThresholdBacklog) Threshold() float64 { return s.threshold }
 // Name returns "threshold(T=...)".
 func (s *ThresholdBacklog) Name() string { return fmt.Sprintf("threshold(T=%g)", s.threshold) }
 
-// Schedule prioritizes over-threshold backlogs, then falls back to SRPT.
-// The two-band key maps over-threshold VOQs to negative values ordered by
-// descending backlog while the rest keep their SRPT ordering at >= 0.
-func (s *ThresholdBacklog) Schedule(t *flow.Table) []*flow.Flow {
-	return s.g.schedule(t, func(c Candidate) float64 {
-		if c.QueueLen > s.threshold {
-			return -c.QueueLen
-		}
-		return c.Flow.Remaining
-	})
+// key is the two-band priority: over-threshold VOQs map to negative
+// values ordered by descending backlog while the rest keep their SRPT
+// ordering at >= 0.
+func (s *ThresholdBacklog) key(c Candidate) float64 {
+	if c.QueueLen > s.threshold {
+		return -c.QueueLen
+	}
+	return c.Flow.Remaining
 }
+
+// Schedule prioritizes over-threshold backlogs, then falls back to SRPT,
+// with candidates maintained in the incremental index.
+func (s *ThresholdBacklog) Schedule(t *flow.Table) []*flow.Flow {
+	return s.g.scheduleIndexed(t, s.key)
+}
+
+// SetIncremental toggles the incremental candidate index (on by default).
+func (s *ThresholdBacklog) SetIncremental(on bool) { s.g.setIncremental(on) }
+
+// ConsumesDirty implements DirtyConsumer.
+func (s *ThresholdBacklog) ConsumesDirty() bool { return s.g.consumesDirty() }
+
+// CheckIndex implements IndexChecker.
+func (s *ThresholdBacklog) CheckIndex(t *flow.Table) error { return s.g.checkIndex(t, s.key) }
 
 // Random picks a uniformly random maximal matching each decision. It is the
 // naive lower bound for both delay and stability experiments, and doubles

@@ -19,11 +19,14 @@ import (
 // V >= 0 weighs FCT minimization against queue stabilization: V → ∞
 // recovers SRPT, V = 0 serves the longest queues (MaxWeight-like).
 type FastBASRPT struct {
-	v float64
-	g greedy
+	v      float64
+	vOverN float64 // v / N of the table last scheduled
+	g      greedy
 }
 
 var _ Scheduler = (*FastBASRPT)(nil)
+var _ DirtyConsumer = (*FastBASRPT)(nil)
+var _ IndexChecker = (*FastBASRPT)(nil)
 
 // NewFastBASRPT returns a fast BASRPT scheduler with the given tradeoff
 // weight V (paper Section IV). It panics on negative V, which the model
@@ -41,12 +44,30 @@ func (s *FastBASRPT) V() float64 { return s.v }
 // Name returns "fast-basrpt(V=...)".
 func (s *FastBASRPT) Name() string { return fmt.Sprintf("fast-basrpt(V=%g)", s.v) }
 
-// Schedule selects flows greedily by the Algorithm 1 key.
+func (s *FastBASRPT) key(c Candidate) float64 {
+	return s.vOverN*c.Flow.Remaining - c.QueueLen
+}
+
+// Schedule selects flows greedily by the Algorithm 1 key, maintained in
+// the incremental candidate index. The V/N normalization is fixed per
+// table; a table swap re-derives it and rebuilds the index.
 func (s *FastBASRPT) Schedule(t *flow.Table) []*flow.Flow {
-	vOverN := s.v / float64(t.N())
-	return s.g.schedule(t, func(c Candidate) float64 {
-		return vOverN*c.Flow.Remaining - c.QueueLen
-	})
+	s.vOverN = s.v / float64(t.N())
+	return s.g.scheduleIndexed(t, s.key)
+}
+
+// SetIncremental toggles the incremental candidate index (on by default);
+// off forces the from-scratch rebuild every call — the old-vs-new
+// benchmark baseline.
+func (s *FastBASRPT) SetIncremental(on bool) { s.g.setIncremental(on) }
+
+// ConsumesDirty implements DirtyConsumer.
+func (s *FastBASRPT) ConsumesDirty() bool { return s.g.consumesDirty() }
+
+// CheckIndex implements IndexChecker.
+func (s *FastBASRPT) CheckIndex(t *flow.Table) error {
+	s.vOverN = s.v / float64(t.N())
+	return s.g.checkIndex(t, s.key)
 }
 
 // ExactBASRPT is the exact drift-plus-penalty minimizer of Section IV-A:

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"fmt"
+	"slices"
+
+	"basrpt/internal/flow"
+)
+
+// candidateIndex is the persistent incremental core behind the greedy
+// disciplines: every non-empty VOQ's scored candidate (key over
+// Top().Remaining and Backlog()), held as a slice permanently sorted in
+// cmpScored order and kept in sync with the table's dirty-VOQ change feed
+// (see the internal/flow package doc). Between decisions only the dirty
+// VOQs change, so a repair re-scores just those k entries, sorts them
+// (k·log k), and splices them into the surviving order with one linear
+// merge (M). Selection is then a comparison-free scan of the already-
+// sorted view, instead of the from-scratch path's gather-and-sort over
+// all M non-empty VOQs (M·log M) on every event.
+//
+// Validity contract: the index is the delta consumer of exactly one
+// table. It is current when it points at the table being scheduled and
+// its basis equals the table's DirtyBasis (nobody else consumed the feed
+// since the index last synchronized). Anything else — first call, table
+// swap, a foreign ClearDirty — triggers a transparent full rebuild.
+// Because keys are pure functions of (Remaining, Backlog) and cmpScored
+// is a strict total order over distinct VOQs, the maintained order equals
+// the from-scratch sorted order bit for bit; decision equivalence is
+// property-tested.
+type candidateIndex struct {
+	table *flow.Table
+	basis uint64 // table.DirtyBasis() at the last synchronization
+	n     int
+
+	view []scored // all current candidates, strictly cmpScored-ascending
+
+	// Repair bookkeeping. stale stamps each VOQ (src*n+dst) with the
+	// generation of the repair that last touched it; during the merge,
+	// view entries whose VOQ carries the current generation have been
+	// superseded (re-scored or emptied) and are skipped. Stamping instead
+	// of clearing keeps repair cost proportional to the dirty set.
+	stale []uint64
+	gen   uint64
+
+	changes []scored // repair scratch: the re-scored dirty candidates
+	merged  []scored // repair double buffer, swapped with view
+}
+
+// voqIdx locates the VOQ an entry's flow belongs to.
+func (ix *candidateIndex) voqIdx(f *flow.Flow) int { return f.Src*ix.n + f.Dst }
+
+// current reports whether the index still describes t exactly: same
+// table, same basis (no foreign consumer), and the geometry matches.
+func (ix *candidateIndex) current(t *flow.Table) bool {
+	return ix.table == t && ix.n == t.N() && ix.basis == t.DirtyBasis()
+}
+
+// synced reports whether the index equals a from-scratch build of t right
+// now: current and no unconsumed mutations. Used by the deep-validation
+// cross-check, which must not flag an index that is merely awaiting its
+// next delta (e.g. while an outage fallback serves held decisions).
+func (ix *candidateIndex) synced(t *flow.Table) bool {
+	return ix.current(t) && t.NumDirty() == 0
+}
+
+// sync brings the index up to date with t and consumes the dirty feed:
+// a delta repair over the dirty VOQs when the index is current, a full
+// rebuild otherwise.
+func (ix *candidateIndex) sync(t *flow.Table, key Key) {
+	if ix.current(t) {
+		ix.repair(t, key)
+	} else {
+		ix.rebuild(t, key)
+	}
+	t.ClearDirty()
+	ix.basis = t.DirtyBasis()
+}
+
+// rebuild reconstructs the sorted view from every non-empty VOQ of t.
+func (ix *candidateIndex) rebuild(t *flow.Table, key Key) {
+	n := t.N()
+	if len(ix.stale) != n*n {
+		// Fresh zeroed stamps can never equal a repair generation: repair
+		// pre-increments gen, so the current generation is always positive
+		// and greater than every stamp written before the rebuild.
+		ix.stale = make([]uint64, n*n)
+	}
+	ix.table = t
+	ix.n = n
+	view := ix.view[:0]
+	t.ForEachNonEmpty(func(q *flow.VOQ) {
+		f := q.Top()
+		view = append(view, scored{key: key(Candidate{Flow: f, QueueLen: q.Backlog()}), f: f})
+	})
+	slices.SortFunc(view, cmpScored)
+	ix.view = view
+}
+
+// repair splices the dirty VOQs' re-scored candidates into the sorted
+// view: stamp every dirty VOQ stale, sort the k replacement entries, then
+// merge them with the surviving entries in one pass. Both inputs are
+// cmpScored-sorted and disjoint (a surviving entry's VOQ is not dirty),
+// so the output is the exact sorted order a full rebuild would produce.
+func (ix *candidateIndex) repair(t *flow.Table, key Key) {
+	ix.gen++
+	gen := ix.gen
+	changes := ix.changes[:0]
+	t.ForEachDirty(func(q *flow.VOQ) {
+		ix.stale[q.Src*ix.n+q.Dst] = gen
+		if q.Len() > 0 {
+			f := q.Top()
+			changes = append(changes, scored{key: key(Candidate{Flow: f, QueueLen: q.Backlog()}), f: f})
+		}
+	})
+	slices.SortFunc(changes, cmpScored)
+	merged := ix.merged[:0]
+	j := 0
+	for _, e := range ix.view {
+		if ix.stale[ix.voqIdx(e.f)] == gen {
+			continue // superseded (or emptied) by this repair
+		}
+		for j < len(changes) && cmpScored(changes[j], e) < 0 {
+			merged = append(merged, changes[j])
+			j++
+		}
+		merged = append(merged, e)
+	}
+	merged = append(merged, changes[j:]...)
+	ix.changes = changes[:0]
+	ix.merged = ix.view[:0]
+	ix.view = merged
+}
+
+// pick runs the greedy crossbar loop straight over the maintained sorted
+// view — no regather, no comparisons. ingress and egress are the caller's
+// scratch busy arrays, zeroed here. The scan serves entries in the
+// cmpScored total order, so the decision is bit-identical to the
+// from-scratch path; it stops early once the matching saturates the
+// scarcer side of the crossbar.
+func (ix *candidateIndex) pick(ingress, egress []bool) []*flow.Flow {
+	for i := range ingress {
+		ingress[i] = false
+		egress[i] = false
+	}
+	limit := ix.n
+	if len(ix.view) < limit {
+		limit = len(ix.view)
+	}
+	selected := make([]*flow.Flow, 0, limit)
+	free := ix.n // ports still free on the scarcer side
+	for _, c := range ix.view {
+		f := c.f
+		if ingress[f.Src] || egress[f.Dst] {
+			continue
+		}
+		ingress[f.Src] = true
+		egress[f.Dst] = true
+		selected = append(selected, f)
+		if free--; free == 0 {
+			break
+		}
+	}
+	return selected
+}
+
+// check verifies the index against a from-scratch view of t: entry count,
+// per-VOQ candidate identity, exact key values, and strict sorted order.
+// It reports nil when the index is not synced with t — a stale index is
+// not wrong, it will resynchronize when consulted.
+func (ix *candidateIndex) check(t *flow.Table, key Key) error {
+	if !ix.synced(t) {
+		return nil
+	}
+	if got, want := len(ix.view), t.NumNonEmpty(); got != want {
+		return fmt.Errorf("sched: index holds %d candidates, table has %d non-empty VOQs", got, want)
+	}
+	byVOQ := make(map[int]scored, len(ix.view))
+	for i, c := range ix.view {
+		if i > 0 && cmpScored(ix.view[i-1], c) >= 0 {
+			return fmt.Errorf("sched: index sorted order violated at entry %d", i)
+		}
+		byVOQ[ix.voqIdx(c.f)] = c
+	}
+	var err error
+	t.ForEachNonEmpty(func(q *flow.VOQ) {
+		if err != nil {
+			return
+		}
+		c, ok := byVOQ[q.Src*ix.n+q.Dst]
+		if !ok {
+			err = fmt.Errorf("sched: non-empty VOQ (%d,%d) has no index entry", q.Src, q.Dst)
+			return
+		}
+		if c.f != q.Top() {
+			err = fmt.Errorf("sched: index candidate for VOQ (%d,%d) is flow %d, from-scratch picks %d",
+				q.Src, q.Dst, c.f.ID, q.Top().ID)
+			return
+		}
+		if want := key(Candidate{Flow: q.Top(), QueueLen: q.Backlog()}); c.key != want {
+			err = fmt.Errorf("sched: index key for VOQ (%d,%d) is %g, from-scratch computes %g",
+				q.Src, q.Dst, c.key, want)
+		}
+	})
+	return err
+}

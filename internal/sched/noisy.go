@@ -23,10 +23,13 @@ import (
 type NoisyFastBASRPT struct {
 	v          float64
 	noiseLevel float64
+	vOverN     float64 // v / N of the table last scheduled
 	g          greedy
 }
 
 var _ Scheduler = (*NoisyFastBASRPT)(nil)
+var _ DirtyConsumer = (*NoisyFastBASRPT)(nil)
+var _ IndexChecker = (*NoisyFastBASRPT)(nil)
 
 // NewNoisyFastBASRPT builds the estimated-size variant. It panics on
 // negative v or noiseLevel (configuration errors).
@@ -45,12 +48,30 @@ func (s *NoisyFastBASRPT) Name() string {
 	return fmt.Sprintf("noisy-basrpt(V=%g,noise=%g)", s.v, s.noiseLevel)
 }
 
-// Schedule runs the Algorithm 1 greedy loop on perceived sizes.
+// key scores a candidate by its perceived remaining size. The per-flow
+// factor is a pure hash of the flow's ID, so the key is a deterministic
+// function of the VOQ state and safe to cache in the incremental index.
+func (s *NoisyFastBASRPT) key(c Candidate) float64 {
+	return s.vOverN*c.Flow.Remaining*s.factor(c.Flow.ID) - c.QueueLen
+}
+
+// Schedule runs the Algorithm 1 greedy loop on perceived sizes, with
+// candidates maintained in the incremental index.
 func (s *NoisyFastBASRPT) Schedule(t *flow.Table) []*flow.Flow {
-	vOverN := s.v / float64(t.N())
-	return s.g.schedule(t, func(c Candidate) float64 {
-		return vOverN*c.Flow.Remaining*s.factor(c.Flow.ID) - c.QueueLen
-	})
+	s.vOverN = s.v / float64(t.N())
+	return s.g.scheduleIndexed(t, s.key)
+}
+
+// SetIncremental toggles the incremental candidate index (on by default).
+func (s *NoisyFastBASRPT) SetIncremental(on bool) { s.g.setIncremental(on) }
+
+// ConsumesDirty implements DirtyConsumer.
+func (s *NoisyFastBASRPT) ConsumesDirty() bool { return s.g.consumesDirty() }
+
+// CheckIndex implements IndexChecker.
+func (s *NoisyFastBASRPT) CheckIndex(t *flow.Table) error {
+	s.vOverN = s.v / float64(t.N())
+	return s.g.checkIndex(t, s.key)
 }
 
 // factor derives the flow's deterministic estimation error from its ID via

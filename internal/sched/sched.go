@@ -17,6 +17,20 @@
 // instead of every active flow. Decision equivalence with the
 // sort-all-flows formulation is property-tested.
 //
+// On top of the candidate-per-VOQ reduction, the pure-key disciplines
+// (SRPT, fast BASRPT, MaxWeight, ThresholdBacklog, NoisyFastBASRPT) keep
+// their candidates in a persistent incremental index (candidateIndex)
+// driven by the table's dirty-VOQ change feed, so a decision re-scores
+// only the VOQs the previous event touched instead of rebuilding and
+// re-sorting all of them. The incremental contract: the index is valid
+// while it is the sole consumer of one table's change feed (its
+// remembered basis equals the table's DirtyBasis); on the first call,
+// after a table swap, or after any other consumer cleared the feed — e.g.
+// interleaved scheduling of two disciplines on one table — the index
+// transparently rebuilds from scratch. Either path yields bit-identical
+// decisions (property-tested); FIFOMatch, Random, and ExactBASRPT rank by
+// impure or per-call state and stay on the from-scratch path.
+//
 // Schedulers run on every flow arrival and completion, so the greedy core
 // reuses its scratch buffers between calls; construct disciplines with
 // their New* constructors and do not share one instance across goroutines.
@@ -40,6 +54,40 @@ type Scheduler interface {
 	// as read-only. The result is a crossbar matching and is freshly
 	// allocated on each call (callers may retain it across events).
 	Schedule(t *flow.Table) []*flow.Flow
+}
+
+// DirtyConsumer is implemented by schedulers whose Schedule consumes the
+// table's dirty-VOQ change feed (flow.Table.ClearDirty). The fabric
+// simulator uses it to decide who owns the feed: when the configured
+// scheduler is not a consumer, the simulator clears the feed itself after
+// each decision so the dirty set cannot grow without bound.
+type DirtyConsumer interface {
+	ConsumesDirty() bool
+}
+
+// IsDirtyConsumer reports whether s consumes the dirty-VOQ feed; wrappers
+// (e.g. OutageFallback) delegate to the scheduler they wrap.
+func IsDirtyConsumer(s Scheduler) bool {
+	dc, ok := s.(DirtyConsumer)
+	return ok && dc.ConsumesDirty()
+}
+
+// IndexChecker is implemented by schedulers that maintain an incremental
+// candidate index. CheckIndex cross-checks the index against a
+// from-scratch rebuild over t and returns a descriptive error on any
+// divergence; a stale or absent index returns nil (it resynchronizes on
+// its next use). The fabric simulator calls it from DeepValidateEvery.
+type IndexChecker interface {
+	CheckIndex(t *flow.Table) error
+}
+
+// CheckIndex runs s's incremental-index self-check when it has one; nil
+// otherwise.
+func CheckIndex(s Scheduler, t *flow.Table) error {
+	if ic, ok := s.(IndexChecker); ok {
+		return ic.CheckIndex(t)
+	}
+	return nil
 }
 
 // Candidate pairs a flow with the backlog of the VOQ it sits in, the two
@@ -68,7 +116,23 @@ type greedy struct {
 	cands       []scored
 	ingressBusy []bool
 	egressBusy  []bool
+
+	idx     *candidateIndex // lazily built by scheduleIndexed
+	noIndex bool            // benchmarking/ablation: force the from-scratch path
 }
+
+// setIncremental toggles the incremental candidate index; disabling it
+// drops the index so a later re-enable starts from a clean rebuild.
+func (g *greedy) setIncremental(on bool) {
+	g.noIndex = !on
+	if !on {
+		g.idx = nil
+	}
+}
+
+// consumesDirty reports whether scheduling through g consumes the table's
+// dirty-VOQ feed (see flow.Table's change-tracking contract).
+func (g *greedy) consumesDirty() bool { return !g.noIndex }
 
 // gather collects one scored candidate per non-empty VOQ.
 func (g *greedy) gather(t *flow.Table, key Key) {
@@ -139,9 +203,9 @@ func (g *greedy) pick(n int) []*flow.Flow {
 // everything; below the threshold the sort's constant factor wins.
 const heapSelectThreshold = 64
 
-// schedule is gather + order + pick. Ordering uses a full sort for small
-// candidate sets and lazy heap selection for large ones; both produce the
-// identical decision (property-tested).
+// schedule is gather + order + pick — the from-scratch path. Ordering uses
+// a full sort for small candidate sets and lazy heap selection for large
+// ones; both produce the identical decision (property-tested).
 func (g *greedy) schedule(t *flow.Table, key Key) []*flow.Flow {
 	g.gather(t, key)
 	if len(g.cands) == 0 {
@@ -154,10 +218,54 @@ func (g *greedy) schedule(t *flow.Table, key Key) []*flow.Flow {
 	return g.pick(t.N())
 }
 
-// heapPick selects greedily by popping a min-heap of candidates, stopping
+// scheduleIndexed is schedule through the incremental candidate index:
+// delta-repair the index's sorted view from the table's dirty feed (full
+// rebuild when the feed basis does not match), then select by scanning
+// the view in place. The scan serves entries in the cmpScored total
+// order, so the decision is bit-identical to the from-scratch path.
+func (g *greedy) scheduleIndexed(t *flow.Table, key Key) []*flow.Flow {
+	if g.noIndex {
+		return g.schedule(t, key)
+	}
+	if g.idx == nil {
+		g.idx = &candidateIndex{}
+	}
+	g.idx.sync(t, key)
+	if len(g.idx.view) == 0 {
+		return nil
+	}
+	n := t.N()
+	if cap(g.ingressBusy) < n {
+		g.ingressBusy = make([]bool, n)
+		g.egressBusy = make([]bool, n)
+	}
+	return g.idx.pick(g.ingressBusy[:n], g.egressBusy[:n])
+}
+
+// checkIndex cross-checks the incremental index against a from-scratch
+// rebuild; nil when the index is disabled, not yet built, or stale (a
+// stale index resynchronizes on its next use and so is not an error).
+func (g *greedy) checkIndex(t *flow.Table, key Key) error {
+	if g.noIndex || g.idx == nil {
+		return nil
+	}
+	return g.idx.check(t, key)
+}
+
+// heapPick selects greedily by heapifying and popping g.cands, stopping
 // as soon as the matching is complete. Pop order equals sorted order, so
 // the decision matches the sort path exactly.
 func (g *greedy) heapPick(n int) []*flow.Flow {
+	// Bottom-up heapify: O(len).
+	for i := len(g.cands)/2 - 1; i >= 0; i-- {
+		siftDown(g.cands, i)
+	}
+	return g.popPick(g.cands, n)
+}
+
+// popPick runs the greedy crossbar loop by destructively popping an
+// already-heapified candidate slice.
+func (g *greedy) popPick(heap []scored, n int) []*flow.Flow {
 	if cap(g.ingressBusy) < n {
 		g.ingressBusy = make([]bool, n)
 		g.egressBusy = make([]bool, n)
@@ -169,11 +277,6 @@ func (g *greedy) heapPick(n int) []*flow.Flow {
 		egress[i] = false
 	}
 
-	heap := g.cands
-	// Bottom-up heapify: O(len).
-	for i := len(heap)/2 - 1; i >= 0; i-- {
-		siftDown(heap, i)
-	}
 	limit := n
 	if len(heap) < limit {
 		limit = len(heap)

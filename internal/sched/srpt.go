@@ -14,6 +14,8 @@ type SRPT struct {
 }
 
 var _ Scheduler = (*SRPT)(nil)
+var _ DirtyConsumer = (*SRPT)(nil)
+var _ IndexChecker = (*SRPT)(nil)
 
 // NewSRPT returns an SRPT scheduler.
 func NewSRPT() *SRPT { return &SRPT{} }
@@ -21,7 +23,21 @@ func NewSRPT() *SRPT { return &SRPT{} }
 // Name returns "srpt".
 func (*SRPT) Name() string { return "srpt" }
 
-// Schedule selects flows greedily by remaining size.
+func (*SRPT) key(c Candidate) float64 { return c.Flow.Remaining }
+
+// Schedule selects flows greedily by remaining size, maintained in the
+// incremental candidate index.
 func (s *SRPT) Schedule(t *flow.Table) []*flow.Flow {
-	return s.g.schedule(t, func(c Candidate) float64 { return c.Flow.Remaining })
+	return s.g.scheduleIndexed(t, s.key)
 }
+
+// SetIncremental toggles the incremental candidate index (on by default);
+// off forces the from-scratch rebuild every call — the old-vs-new
+// benchmark baseline.
+func (s *SRPT) SetIncremental(on bool) { s.g.setIncremental(on) }
+
+// ConsumesDirty implements DirtyConsumer.
+func (s *SRPT) ConsumesDirty() bool { return s.g.consumesDirty() }
+
+// CheckIndex implements IndexChecker.
+func (s *SRPT) CheckIndex(t *flow.Table) error { return s.g.checkIndex(t, s.key) }
