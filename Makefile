@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-sched cover experiments stability fuzz clean
+.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs trace-smoke cover experiments stability fuzz clean
 
 all: build test
 
@@ -43,6 +43,30 @@ bench-sched:
 # time at 144 hosts is ~38k scheduling decisions per arm.
 SCHEDBENCH_DURATION ?= 0.02
 
+# Observability regression check: the internal/obs disabled/enabled
+# microbenchmarks, then the paired disabled-vs-enabled fabric runs — which
+# assert byte-identical work, measure the disabled-path probe cost against
+# the per-decision scheduling cost (budget: 2%), and verify trace
+# byte-determinism — emitting the report to BENCH_obs.json (uploaded as a
+# CI artifact alongside BENCH_sched.json).
+bench-obs:
+	$(GO) test -run NONE -bench 'BenchmarkObs' -benchmem ./internal/obs/
+	$(GO) run ./cmd/basrptbench -obsbench BENCH_obs.json \
+		-racks 4 -hosts 6 -duration $(OBSBENCH_DURATION)
+
+# Simulated horizon of the bench-obs fabric pairs (four runs total).
+OBSBENCH_DURATION ?= 0.1
+
+# Trace-export smoke check: two fixed-seed traced runs must produce
+# byte-identical JSONL (the determinism contract CI also enforces).
+trace-smoke:
+	$(GO) run ./cmd/basrptsim -racks 2 -hosts 3 -duration 0.3 -load 0.6 \
+		-seed 42 -trace trace_smoke_a.jsonl
+	$(GO) run ./cmd/basrptsim -racks 2 -hosts 3 -duration 0.3 -load 0.6 \
+		-seed 42 -trace trace_smoke_b.jsonl
+	cmp trace_smoke_a.jsonl trace_smoke_b.jsonl
+	@echo "trace determinism OK: $$(wc -c < trace_smoke_a.jsonl) bytes, byte-identical across runs"
+
 cover:
 	$(GO) test -cover ./...
 
@@ -65,3 +89,4 @@ fuzz:
 clean:
 	$(GO) clean ./...
 	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata
+	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json trace_smoke_a.jsonl trace_smoke_b.jsonl

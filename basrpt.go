@@ -32,16 +32,20 @@
 package basrpt
 
 import (
+	"io"
+
 	"basrpt/internal/core"
 	"basrpt/internal/fabricsim"
 	"basrpt/internal/faults"
 	"basrpt/internal/flow"
 	"basrpt/internal/metrics"
+	"basrpt/internal/obs"
 	"basrpt/internal/runner"
 	"basrpt/internal/sched"
 	"basrpt/internal/stats"
 	"basrpt/internal/switchsim"
 	"basrpt/internal/topology"
+	"basrpt/internal/trace"
 	"basrpt/internal/workload"
 )
 
@@ -275,7 +279,56 @@ type (
 	SchedBenchResult = core.SchedBenchResult
 	// SchedBenchRow is one discipline's old-vs-new decision-rate row.
 	SchedBenchRow = core.SchedBenchRow
+	// ObsBenchResult quantifies the observability layer's cost (the
+	// BENCH_obs.json shape) and trace determinism.
+	ObsBenchResult = core.ObsBenchResult
 )
+
+// Observability (see internal/obs): a deterministic instrumentation
+// registry plus a sim-time event tracer with a flight-recorder ring. A nil
+// *Obs (and every handle resolved from one) is a near-zero no-op, so
+// instrumented code needs no "is observability on" branches.
+type (
+	// Obs is the per-run instrumentation handle; set FabricConfig.Obs (or
+	// SwitchConfig.Obs) to attach it.
+	Obs = obs.Obs
+	// ObsOptions parameterizes NewObs (ring capacity, wall-clock stamping,
+	// event sink).
+	ObsOptions = obs.Options
+	// ObsEvent is one sim-time-stamped trace event.
+	ObsEvent = obs.Event
+	// ObsSnapshot is a point-in-time copy of every registered instrument;
+	// FabricResult.Obs carries one per run.
+	ObsSnapshot = obs.Snapshot
+	// ObsRegistry holds named counters, gauges, and histograms.
+	ObsRegistry = obs.Registry
+	// ObsEventSink receives every emitted event in order (the JSONL trace
+	// writer satisfies this).
+	ObsEventSink = obs.EventSink
+	// TraceHeader is the schema-versioned first line of a JSONL trace.
+	TraceHeader = trace.TraceHeader
+	// TraceWriter streams events as JSONL; attach via ObsOptions.Sink.
+	TraceWriter = trace.EventWriter
+)
+
+// TraceSchema identifies the JSONL trace format this build writes and
+// ReadTrace accepts.
+const TraceSchema = trace.TraceSchema
+
+// NewObs builds an enabled instrumentation handle. A nil *Obs is the
+// disabled layer — every probe through it is a pointer comparison.
+func NewObs(o ObsOptions) *Obs { return obs.New(o) }
+
+// NewTraceWriter starts a JSONL trace on w by writing the schema-versioned
+// header; pass the writer as ObsOptions.Sink to stream a run's events.
+func NewTraceWriter(w io.Writer, h TraceHeader) (*TraceWriter, error) {
+	return trace.NewEventWriter(w, h)
+}
+
+// ReadTrace parses a JSONL trace, validating the schema and the event
+// sequence; on corruption it returns the events salvaged before the bad
+// line alongside the error.
+func ReadTrace(r io.Reader) (TraceHeader, []ObsEvent, error) { return trace.ReadTrace(r) }
 
 // Multi-seed experiment running (see internal/runner).
 type (
@@ -381,6 +434,14 @@ func RunIncast(scale Scale, v float64, fanout int, jobsPerSecond, backgroundLoad
 // arms (load <= 0 selects the 0.8 default).
 func RunSchedBench(scale Scale, load float64) (*SchedBenchResult, error) {
 	return core.RunSchedBench(scale, load)
+}
+
+// RunObsBench measures the observability layer's disabled-path overhead
+// against the per-decision scheduling cost and verifies that two traced
+// fixed-seed runs emit byte-identical JSONL (load <= 0 selects the 0.8
+// default).
+func RunObsBench(scale Scale, load float64) (*ObsBenchResult, error) {
+	return core.RunObsBench(scale, load)
 }
 
 // RunFaults compares SRPT and fast BASRPT under byte-identical workloads

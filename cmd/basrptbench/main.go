@@ -22,6 +22,15 @@
 // the incremental scheduling core against the from-scratch baseline on
 // byte-identical runs at 0.8 load, writing decisions/sec and speedup per
 // discipline to PATH (the CI artifact BENCH_sched.json).
+//
+// With -obsbench PATH the tool instead measures the observability layer:
+// disabled-path probe overhead against the per-decision scheduling cost
+// (budget: 2%) and trace byte-determinism, written to PATH (the CI
+// artifact BENCH_obs.json).
+//
+// Profiling: -cpuprofile/-memprofile write pprof profiles around whatever
+// work the other flags select; -pprof ADDR serves net/http/pprof for live
+// inspection of long runs.
 package main
 
 import (
@@ -29,9 +38,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -64,12 +76,52 @@ func run(args []string, w io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "worker count for multi-seed runs (0 = GOMAXPROCS)")
 		benchJSON = fs.String("benchjson", "", "multi-seed only: also rerun serially and write a runs/sec + speedup report to this path")
 		schedJSON = fs.String("schedbench", "", "instead of experiments: benchmark the incremental scheduling core against the from-scratch baseline at this scale (load 0.8) and write decisions/sec + speedup to this path")
+		obsJSON   = fs.String("obsbench", "", "instead of experiments: measure observability overhead + trace determinism at this scale (load 0.8) and write the report to this path")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the selected work to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile (after the selected work) to this file")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the work runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *seeds < 1 {
 		return fmt.Errorf("seeds %d < 1", *seeds)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			// The DefaultServeMux carries the net/http/pprof handlers; the
+			// server dies with the process, so errors are only reportable.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "basrptbench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(w, "[pprof serving on http://%s/debug/pprof/]\n", *pprofAddr)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "basrptbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "basrptbench: memprofile:", err)
+			}
+		}()
 	}
 
 	scale, err := pickScale(*scaleName)
@@ -92,6 +144,12 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("-schedbench runs single-seed pairs (drop -seeds)")
 		}
 		return runSchedBench(w, scale, *schedJSON)
+	}
+	if *obsJSON != "" {
+		if *seeds > 1 {
+			return fmt.Errorf("-obsbench runs single-seed pairs (drop -seeds)")
+		}
+		return runObsBench(w, scale, *obsJSON)
 	}
 
 	wanted := strings.Split(*exp, ",")
@@ -422,6 +480,44 @@ func runSchedBench(w io.Writer, scale basrpt.Scale, path string) error {
 		return fmt.Errorf("schedbench: %w", err)
 	}
 	fmt.Fprintf(w, "[sched report written to %s]\n", path)
+	return nil
+}
+
+// obsReport is the -obsbench artifact (BENCH_obs.json in CI): the
+// observability layer's disabled-path overhead against the per-decision
+// scheduling cost, plus the trace byte-determinism verdict.
+type obsReport struct {
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Scale      string                 `json:"scale"`
+	Result     *basrpt.ObsBenchResult `json:"result"`
+}
+
+// runObsBench is the -obsbench path: overhead + determinism measurement,
+// rendered as a table and written as JSON.
+func runObsBench(w io.Writer, scale basrpt.Scale, path string) error {
+	start := time.Now()
+	res, err := basrpt.RunObsBench(scale, 0)
+	if err != nil {
+		return fmt.Errorf("obsbench: %w", err)
+	}
+	fmt.Fprintln(w, res.Render())
+	fmt.Fprintf(w, "[obsbench took %s]\n", time.Since(start).Round(time.Millisecond))
+	if !res.Deterministic {
+		return fmt.Errorf("obsbench: traced fixed-seed runs were not byte-identical")
+	}
+	report := obsReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale.String(),
+		Result:     res,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obsbench: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obsbench: %w", err)
+	}
+	fmt.Fprintf(w, "[obs report written to %s]\n", path)
 	return nil
 }
 

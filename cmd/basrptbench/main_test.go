@@ -245,3 +245,62 @@ func TestMultiSeedRejectsBadFlags(t *testing.T) {
 		t.Fatal("stability-only multi-seed run should fail (no multi-seed form)")
 	}
 }
+
+func TestObsBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_obs.json")
+	var buf bytes.Buffer
+	// 24 hosts keeps the decision cost (~1.5µs) far above the probe cost
+	// so the 2% bound holds with margin; see core.TestObsBenchOverhead*.
+	err := run([]string{
+		"-obsbench", path, "-racks", "4", "-hosts", "6", "-duration", "0.05",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Observability overhead") {
+		t.Fatalf("missing rendered table:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report obsReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid report JSON: %v\n%s", err, raw)
+	}
+	r := report.Result
+	if r == nil || r.Decisions == 0 || !r.Deterministic {
+		t.Fatalf("report = %+v", report)
+	}
+	if r.DisabledOverheadPct <= 0 || r.DisabledOverheadPct > 2 {
+		t.Fatalf("disabled overhead %.4f%% outside (0, 2]", r.DisabledOverheadPct)
+	}
+
+	// Multi-seed makes no sense for the paired measurement.
+	if err := run([]string{"-obsbench", path, "-seeds", "3"}, &buf); err == nil {
+		t.Fatal("-obsbench with -seeds accepted")
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-exp", "fig1", "-cpuprofile", cpu, "-memprofile", mem,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}

@@ -61,6 +61,8 @@ func run(args []string, w io.Writer) error {
 		inject    = fs.Bool("faults", false, "inject a deterministic fault schedule (link faults + a scheduler outage)")
 		faultSeed = fs.Uint64("faultseed", 1, "seed of the injected fault schedule")
 		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
+		tracePath = fs.String("trace", "", "write a schema-versioned JSONL event trace to this file (byte-identical across fixed-seed runs)")
+		traceWall = fs.Bool("tracewall", false, "stamp wall-clock nanos into trace events (breaks byte-identity across runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +127,27 @@ func run(args []string, w io.Writer) error {
 		}
 		cfg.Faults = basrpt.NewFaultInjector(schedule)
 	}
+	var traceFile *os.File
+	var traceWriter *basrpt.TraceWriter
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		defer traceFile.Close()
+		traceWriter, err = basrpt.NewTraceWriter(traceFile, basrpt.TraceHeader{
+			Seed:        int64(*seed),
+			Scheduler:   *schedName,
+			Hosts:       topo.NumHosts(),
+			Load:        *load,
+			DurationSec: *duration,
+			WallClock:   *traceWall,
+		})
+		if err != nil {
+			return fmt.Errorf("start trace: %w", err)
+		}
+		cfg.Obs = basrpt.NewObs(basrpt.ObsOptions{Sink: traceWriter, WallClock: *traceWall})
+	}
 	sim, err := basrpt.NewFabricSim(cfg)
 	if err != nil {
 		return err
@@ -132,6 +155,14 @@ func run(args []string, w io.Writer) error {
 	res, err := sim.Run()
 	if err != nil {
 		return err
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("close trace: %w", err)
+		}
 	}
 
 	q := res.FCT.Stats(basrpt.ClassQuery)
@@ -175,6 +206,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if d := out.Diagnosis; d != nil {
 		tbl.AddRow("watchdog", d.String())
+	}
+	if traceWriter != nil {
+		tbl.AddRow("trace", fmt.Sprintf("%d events -> %s", traceWriter.Events(), *tracePath))
 	}
 	fmt.Fprint(w, tbl.Render())
 	fmt.Fprintln(w)

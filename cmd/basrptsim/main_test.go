@@ -3,8 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"basrpt"
 )
 
 func TestRunTextOutput(t *testing.T) {
@@ -91,5 +95,42 @@ func TestRunRejectsUnknownWorkload(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-workload", "chaos"}, &buf); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunTraceExportIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(path string) []byte {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-scheduler", "fast-basrpt", "-racks", "2", "-hosts", "2",
+			"-duration", "0.2", "-load", "0.5", "-seed", "9", "-trace", path,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "trace") {
+			t.Fatalf("text output missing trace summary:\n%s", buf.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a := runOnce(filepath.Join(dir, "a.jsonl"))
+	b := runOnce(filepath.Join(dir, "b.jsonl"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("fixed-seed -trace exports differ")
+	}
+	h, events, err := basrpt.ReadTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != basrpt.TraceSchema || h.Seed != 9 || h.Scheduler != "fast-basrpt" {
+		t.Fatalf("trace header = %+v", h)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
 	}
 }

@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		out       = fs.String("out", "", "output file prefix (empty: stdout)")
 		seeds     = fs.Int("seeds", 1, "replicates; > 1 prints a scalar-metric ±ci aggregate instead of series")
 		parallel  = fs.Int("parallel", 0, "worker count for multi-seed runs (0 = GOMAXPROCS)")
+		tracePath = fs.String("trace", "", "also write the schema-versioned JSONL event trace to this file (single-seed only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,11 +55,15 @@ func run(args []string, stdout io.Writer) error {
 	if *seeds < 1 {
 		return fmt.Errorf("seeds %d < 1", *seeds)
 	}
+	if *tracePath != "" && *seeds > 1 {
+		return fmt.Errorf("-trace is single-seed only (traces from concurrent replicates would interleave); rerun with -seeds 1")
+	}
 
 	// simulate runs one full fabric simulation for the given seed. Every
 	// component — scheduler included — is built inside so the closure is
-	// safe to invoke from concurrent runner workers.
-	simulate := func(seed uint64) (*basrpt.FabricResult, error) {
+	// safe to invoke from concurrent runner workers (which pass a nil
+	// instrumentation handle).
+	simulate := func(seed uint64, o *basrpt.Obs) (*basrpt.FabricResult, error) {
 		topo, err := basrpt.NewTopology(basrpt.ScaledTopology(*racks, *hosts))
 		if err != nil {
 			return nil, err
@@ -84,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 			Generator:   gen,
 			Duration:    *duration,
 			MonitorPort: *monitor,
+			Obs:         o,
 		})
 		if err != nil {
 			return nil, err
@@ -93,7 +99,7 @@ func run(args []string, stdout io.Writer) error {
 
 	if *seeds > 1 {
 		task := runner.Task{Name: *schedName, Run: func(seed uint64) (runner.Sample, error) {
-			res, err := simulate(seed)
+			res, err := simulate(seed, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -122,9 +128,41 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	res, err := simulate(*seed)
+	var traceFile *os.File
+	var traceWriter *basrpt.TraceWriter
+	var o *basrpt.Obs
+	if *tracePath != "" {
+		var err error
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		defer traceFile.Close()
+		traceWriter, err = basrpt.NewTraceWriter(traceFile, basrpt.TraceHeader{
+			Seed:        int64(*seed),
+			Scheduler:   *schedName,
+			Hosts:       *racks * *hosts,
+			Load:        *load,
+			DurationSec: *duration,
+		})
+		if err != nil {
+			return fmt.Errorf("start trace: %w", err)
+		}
+		o = basrpt.NewObs(basrpt.ObsOptions{Sink: traceWriter})
+	}
+
+	res, err := simulate(*seed, o)
 	if err != nil {
 		return err
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("close trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d events)\n", *tracePath, traceWriter.Events())
 	}
 
 	tput := res.Throughput.SeriesGbps()

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"basrpt"
 )
 
 func TestRunToStdout(t *testing.T) {
@@ -61,5 +63,41 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-out", "/nonexistent-dir/xx", "-racks", "2", "-hosts", "2", "-duration", "0.1", "-load", "0.4"}, &buf); err == nil {
 		t.Fatal("unwritable output path accepted")
+	}
+}
+
+func TestRunJSONLTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-scheduler", "fast-basrpt", "-racks", "2", "-hosts", "2",
+		"-duration", "0.2", "-load", "0.5", "-seed", "4",
+		"-out", filepath.Join(dir, "run"), "-trace", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, events, err := basrpt.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seed != 4 || len(events) == 0 {
+		t.Fatalf("header %+v with %d events", h, len(events))
+	}
+	if !strings.Contains(buf.String(), "run.jsonl") {
+		t.Fatalf("stdout missing trace report: %q", buf.String())
+	}
+
+	// Multi-seed traces would interleave; the combination is rejected.
+	if err := run([]string{
+		"-racks", "2", "-hosts", "2", "-duration", "0.1", "-load", "0.4",
+		"-seeds", "2", "-trace", path,
+	}, &buf); err == nil {
+		t.Fatal("-trace with -seeds > 1 accepted")
 	}
 }

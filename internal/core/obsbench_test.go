@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestObsBenchOverheadAndDeterminism is the acceptance gate: the disabled
+// observability path costs <= 2% of a scheduling decision, and two traced
+// fixed-seed runs are byte-identical.
+func TestObsBenchOverheadAndDeterminism(t *testing.T) {
+	// Medium rack shape: with 24 hosts a decision costs ~1.5µs, so the
+	// ~2.5ns disabled probe sits well inside the 2% budget. Tiny 4-port
+	// fabrics are excluded on purpose — their ~200ns decisions make the
+	// ratio hug the bound and flake.
+	res, err := RunObsBench(Scale{Racks: 4, HostsPerRack: 6, Duration: 0.1, Seed: 3}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions == 0 {
+		t.Fatal("bench took no decisions")
+	}
+	if !res.Deterministic {
+		t.Fatal("two fixed-seed traced runs produced different trace bytes")
+	}
+	if res.TraceEvents == 0 || res.TraceBytes == 0 {
+		t.Fatalf("empty trace: %d events, %d bytes", res.TraceEvents, res.TraceBytes)
+	}
+	if res.DisabledOverheadPct <= 0 {
+		t.Fatalf("overhead %g not measured", res.DisabledOverheadPct)
+	}
+	if res.DisabledOverheadPct > 2 {
+		t.Fatalf("disabled observability overhead %.4f%% exceeds the 2%% budget (probe %.2fns x %.2f/decision vs %.0fns decisions)",
+			res.DisabledOverheadPct, res.DisabledProbeNs, res.ProbesPerDecision, res.DecisionNs)
+	}
+
+	// BENCH_obs.json shape: stable snake_case keys.
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"disabled_overhead_pct", "deterministic", "trace_events", "disabled_decisions_per_sec"} {
+		if !strings.Contains(string(buf), `"`+key+`"`) {
+			t.Fatalf("BENCH_obs.json missing %q:\n%s", key, buf)
+		}
+	}
+
+	out := res.Render()
+	for _, want := range []string{"Observability overhead", "disabled overhead", "deterministic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObsBenchRejectsBadLoad mirrors the sched-bench validation contract.
+func TestObsBenchRejectsBadLoad(t *testing.T) {
+	if _, err := RunObsBench(Scale{Racks: 2, HostsPerRack: 2, Duration: 0.2, Seed: 1}, 1.5); err == nil {
+		t.Fatal("load >= 1 accepted")
+	}
+}

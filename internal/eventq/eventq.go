@@ -32,12 +32,18 @@ type entry struct {
 // It is not safe for concurrent use; the simulator is single-threaded by
 // design (parallelism comes from running independent simulations).
 type Queue struct {
-	heap []*entry
-	seq  uint64
+	heap      []*entry
+	seq       uint64
+	highWater int
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
+
+// HighWater returns the largest number of events that were ever pending
+// simultaneously — the calendar's memory footprint, reported by the
+// observability layer.
+func (q *Queue) HighWater() int { return q.highWater }
 
 // Schedule adds an event at the given time and returns a handle for
 // cancellation. Times may be in any order; equal times pop FIFO.
@@ -45,6 +51,9 @@ func (q *Queue) Schedule(time float64, ev Event) Handle {
 	q.seq++
 	e := &entry{time: time, seq: q.seq, event: ev, index: len(q.heap)}
 	q.heap = append(q.heap, e)
+	if len(q.heap) > q.highWater {
+		q.highWater = len(q.heap)
+	}
 	q.up(e.index)
 	return Handle{entry: e}
 }

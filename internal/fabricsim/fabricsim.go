@@ -23,11 +23,13 @@ package fabricsim
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"basrpt/internal/faults"
 	"basrpt/internal/flow"
 	"basrpt/internal/metrics"
+	"basrpt/internal/obs"
 	"basrpt/internal/sched"
 	"basrpt/internal/workload"
 )
@@ -80,6 +82,15 @@ type Config struct {
 	// Watchdog, when non-nil, bounds the run and truncates it gracefully —
 	// partial Result plus Diagnosis — instead of running blind.
 	Watchdog *Watchdog
+	// Obs, when non-nil, receives the run's instrumentation: backlog
+	// samples, completion and fault-boundary events, and the flight
+	// recorder that truncation diagnoses quote. All events are stamped
+	// with simulation time, so fixed-seed traced runs are byte-identical.
+	// When nil the simulator still accumulates its counters (Decisions,
+	// SchedNanos) through a private registry; the per-probe cost is the
+	// same pointer-indirected add either way, and the event probes reduce
+	// to one pointer comparison.
+	Obs *obs.Obs
 }
 
 // Watchdog bounds a run. Zero-valued limits are disabled.
@@ -92,6 +103,15 @@ type Watchdog struct {
 	// events; truncation at this limit is inherently machine-dependent, so
 	// deterministic experiments should rely on MaxBacklogBytes.
 	MaxWallClock time.Duration
+	// DiagnosisEvents is how many flight-recorder events a truncation
+	// Diagnosis captures (default 16, capped by the recorder's ring;
+	// negative disables the capture). Only meaningful when the run has a
+	// Config.Obs.
+	DiagnosisEvents int
+	// VerboseDiagnosis makes Diagnosis.String() print the captured
+	// flight-recorder events after the one-line summary, so a truncated
+	// run explains the event sequence that led to the stop.
+	VerboseDiagnosis bool
 }
 
 // Diagnosis explains a watchdog truncation. A nil Result.Diagnosis means
@@ -111,16 +131,40 @@ type Diagnosis struct {
 	// flow.Table change tracking) — together with Seed it pins the exact
 	// table state for replaying incremental-index divergences.
 	TableEpoch uint64
+	// LastEvents is the tail of the flight recorder at the stop — the
+	// event sequence that led to the truncation, oldest first. Empty when
+	// the run had no Config.Obs or Watchdog.DiagnosisEvents is negative.
+	LastEvents []obs.Event
+	// Verbose mirrors Watchdog.VerboseDiagnosis: String() appends
+	// LastEvents after the summary line.
+	Verbose bool
 }
 
 func (d *Diagnosis) String() string {
-	return fmt.Sprintf("truncated (%s) at t=%.4gs: backlog %.4g bytes after %d decisions (seed %d, epoch %d)",
+	s := fmt.Sprintf("truncated (%s) at t=%.4gs: backlog %.4g bytes after %d decisions (seed %d, epoch %d)",
 		d.Reason, d.SimTime, d.BacklogBytes, d.Events, d.Seed, d.TableEpoch)
+	if !d.Verbose || len(d.LastEvents) == 0 {
+		return s
+	}
+	var b strings.Builder
+	b.WriteString(s)
+	fmt.Fprintf(&b, "\nlast %d events:", len(d.LastEvents))
+	for _, ev := range d.LastEvents {
+		fmt.Fprintf(&b, "\n  #%d t=%.6gs %s port=%d value=%.6g", ev.Seq, ev.T, ev.Kind, ev.Port, ev.Value)
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", ev.Detail)
+		}
+	}
+	return b.String()
 }
 
 // wallClockCheckEvery is how many event-loop iterations pass between
 // wall-clock watchdog checks.
 const wallClockCheckEvery = 4096
+
+// defaultDiagnosisEvents is how many flight-recorder events a truncation
+// Diagnosis captures when Watchdog.DiagnosisEvents is zero.
+const defaultDiagnosisEvents = 16
 
 // Result carries everything the paper's figures and tables read off a run.
 type Result struct {
@@ -159,6 +203,15 @@ type Result struct {
 	// Diagnosis is non-nil when the watchdog truncated the run; the
 	// metrics above still satisfy arrived = departed + backlog.
 	Diagnosis *Diagnosis
+
+	// Obs is the end-of-run snapshot of the instrumentation registry —
+	// every counter, gauge, and histogram the run accumulated, including
+	// the slow-path stats finish() folds in (incremental-index
+	// repair/rebuild counts, held decisions, arbitration rounds, event-
+	// calendar high-water). Populated whether or not Config.Obs was set;
+	// wall-clock-derived entries (fabric.sched_nanos, fabric.decision_ns)
+	// are machine-dependent and never enter deterministic comparisons.
+	Obs obs.Snapshot
 }
 
 // Truncated reports whether the watchdog stopped the run early.
@@ -208,6 +261,15 @@ type Sim struct {
 	nextSample      float64
 	res             *Result
 	drainAccumStart float64
+
+	// Instrumentation. reg is cfg.Obs's registry when tracing is on and a
+	// private registry otherwise, so the decision counters below are
+	// always live — Result.Decisions/SchedNanos are copied out of them at
+	// finish, keeping reported values identical with and without obs.
+	reg         *obs.Registry
+	cDecisions  *obs.Counter   // fabric.decisions
+	cSchedNanos *obs.Counter   // fabric.sched_nanos (wall clock)
+	hDecisionNs *obs.Histogram // fabric.decision_ns (wall clock)
 }
 
 // New validates the configuration and prepares a run.
@@ -275,6 +337,16 @@ func New(cfg Config) (*Sim, error) {
 	// contract): an index-maintaining scheduler consumes the feed itself;
 	// for everything else the sim is the consumer of record.
 	s.clearsDirty = !sched.IsDirtyConsumer(s.scheduler)
+	s.reg = cfg.Obs.Registry()
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.cDecisions = s.reg.Counter("fabric.decisions")
+	s.cSchedNanos = s.reg.Counter("fabric.sched_nanos")
+	s.hDecisionNs = s.reg.Histogram("fabric.decision_ns")
+	if cfg.Faults != nil {
+		cfg.Faults.SetRegistry(s.reg)
+	}
 	return s, nil
 }
 
@@ -282,7 +354,7 @@ func New(cfg Config) (*Sim, error) {
 // the seed, the simulated time reached, and the decision count.
 func (s *Sim) errorf(format string, args ...any) error {
 	return fmt.Errorf("fabricsim [seed=%d t=%gs events=%d epoch=%d]: %w",
-		s.cfg.Seed, s.now, s.res.Decisions, s.table.Epoch(), fmt.Errorf(format, args...))
+		s.cfg.Seed, s.now, s.cDecisions.Value(), s.table.Epoch(), fmt.Errorf(format, args...))
 }
 
 // Run executes the simulation to the horizon and returns the metrics.
@@ -329,6 +401,18 @@ func (s *Sim) Run() (*Result, error) {
 			s.res.Faults.LinkFaultEnds += int64(le)
 			s.res.Faults.OutageStarts += int64(os)
 			s.res.Faults.OutageEnds += int64(oe)
+			if ls > 0 {
+				s.cfg.Obs.Emit(s.now, "fault.link.start", -1, float64(ls), "")
+			}
+			if le > 0 {
+				s.cfg.Obs.Emit(s.now, "fault.link.end", -1, float64(le), "")
+			}
+			if os > 0 {
+				s.cfg.Obs.Emit(s.now, "fault.outage.start", -1, float64(os), "")
+			}
+			if oe > 0 {
+				s.cfg.Obs.Emit(s.now, "fault.outage.end", -1, float64(oe), "")
+			}
 			reschedule = true
 		}
 
@@ -377,13 +461,33 @@ func (s *Sim) Run() (*Result, error) {
 	return s.finish(), nil
 }
 
-// finish seals the result at the current simulated time.
+// finish seals the result at the current simulated time: copy the
+// counter-backed totals into the Result (identical to the pre-registry
+// reporting), fold the slow-path stats into the registry, and snapshot it.
 func (s *Sim) finish() *Result {
 	s.res.LeftoverBytes = s.table.TotalBacklog()
 	s.res.LeftoverFlows = s.table.NumFlows()
+	s.res.Decisions = s.cDecisions.Value()
+	s.res.SchedNanos = s.cSchedNanos.Value()
 	if s.fallback != nil {
 		s.res.Faults.DecisionsHeld = s.fallback.HeldDecisions()
+		s.reg.Counter("sched.decisions_held").Add(s.fallback.HeldDecisions())
+		s.reg.Counter("sched.outage_activations").Add(s.fallback.Activations())
 	}
+	// Once-per-run stats pulled from the subsystems that kept them.
+	s.reg.Counter("fabric.arrived_flows").Add(int64(s.res.ArrivedFlows))
+	s.reg.Counter("fabric.completed_flows").Add(int64(s.res.CompletedFlows))
+	if ist := sched.IndexStatsOf(s.scheduler); ist.Repairs+ist.Rebuilds > 0 {
+		s.reg.Counter("sched.index_repairs").Add(ist.Repairs)
+		s.reg.Counter("sched.index_rebuilds").Add(ist.Rebuilds)
+	}
+	if d, ok := s.cfg.Scheduler.(interface{ TotalRounds() int64 }); ok {
+		s.reg.Counter("sched.arbitration_rounds").Add(d.TotalRounds())
+	}
+	if g, ok := s.cfg.Generator.(interface{ QueueHighWater() int }); ok {
+		s.reg.Gauge("eventq.high_water").Set(float64(g.QueueHighWater()))
+	}
+	s.res.Obs = s.reg.Snapshot()
 	return s.res
 }
 
@@ -391,6 +495,9 @@ func (s *Sim) finish() *Result {
 // metric accumulated so far (byte conservation included) plus a Diagnosis
 // saying why and where the run stopped.
 func (s *Sim) truncate(reason string) *Result {
+	// Record the stop itself before capturing the recorder tail, so the
+	// captured sequence ends with the truncation event.
+	s.cfg.Obs.Emit(s.now, "watchdog.truncate", -1, s.table.TotalBacklog(), reason)
 	res := s.finish()
 	res.Duration = s.now
 	res.Diagnosis = &Diagnosis{
@@ -400,6 +507,14 @@ func (s *Sim) truncate(reason string) *Result {
 		Events:       res.Decisions,
 		Seed:         s.cfg.Seed,
 		TableEpoch:   s.table.Epoch(),
+	}
+	if wd := s.cfg.Watchdog; wd != nil && wd.DiagnosisEvents >= 0 {
+		k := wd.DiagnosisEvents
+		if k == 0 {
+			k = defaultDiagnosisEvents
+		}
+		res.Diagnosis.LastEvents = s.cfg.Obs.LastEvents(k)
+		res.Diagnosis.Verbose = wd.VerboseDiagnosis
 	}
 	return res
 }
@@ -516,6 +631,7 @@ func (s *Sim) collectCompletions() bool {
 			s.table.Remove(f)
 			s.res.CompletedFlows++
 			s.res.FCT.Add(f.Class, s.now-f.Arrival)
+			s.cfg.Obs.Emit(s.now, "flow.done", f.Src, s.now-f.Arrival, f.Class.String())
 			completed = true
 		} else {
 			kept = append(kept, f)
@@ -533,10 +649,10 @@ func (s *Sim) reschedule() error {
 	if s.fallback != nil {
 		s.fallback.SetOutage(s.cfg.Faults.SchedulerDown(s.now))
 	}
-	start := time.Now()
+	span := obs.StartSpan(s.hDecisionNs)
 	s.decision = s.scheduler.Schedule(s.table)
-	s.res.SchedNanos += time.Since(start).Nanoseconds()
-	s.res.Decisions++
+	s.cSchedNanos.Add(span.End())
+	s.cDecisions.Inc()
 	if s.clearsDirty {
 		s.table.ClearDirty()
 	}
@@ -555,7 +671,7 @@ func (s *Sim) reschedule() error {
 			return s.errorf("%w", err)
 		}
 	}
-	if k := s.cfg.DeepValidateEvery; k > 0 && s.res.Decisions%k == 0 {
+	if k := s.cfg.DeepValidateEvery; k > 0 && s.cDecisions.Value()%k == 0 {
 		if err := s.deepValidate(); err != nil {
 			return s.errorf("%w", err)
 		}
@@ -641,10 +757,15 @@ func closeEnough(a, b float64) bool {
 	return diff <= 1e-6*scale
 }
 
-// sample records the queue-length series.
+// sample records the queue-length series and the matching trace events.
 func (s *Sim) sample() {
-	s.res.QueueSeries.Add(s.now, s.table.IngressBacklog(s.cfg.MonitorPort))
-	s.res.TotalBacklogSeries.Add(s.now, s.table.TotalBacklog())
-	_, maxB := s.table.MaxIngressBacklog()
+	queue := s.table.IngressBacklog(s.cfg.MonitorPort)
+	total := s.table.TotalBacklog()
+	maxPort, maxB := s.table.MaxIngressBacklog()
+	s.res.QueueSeries.Add(s.now, queue)
+	s.res.TotalBacklogSeries.Add(s.now, total)
 	s.res.MaxPortSeries.Add(s.now, maxB)
+	s.cfg.Obs.Emit(s.now, "sample.queue", s.cfg.MonitorPort, queue, "")
+	s.cfg.Obs.Emit(s.now, "sample.total", -1, total, "")
+	s.cfg.Obs.Emit(s.now, "sample.maxport", maxPort, maxB, "")
 }

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 
+	"basrpt/internal/obs"
 	"basrpt/internal/stats"
 )
 
@@ -289,6 +290,12 @@ type Injector struct {
 	boundaries []float64 // sorted unique window starts/ends
 	lossRNG    *stats.RNG
 	grantRNG   *stats.RNG
+
+	// Observability counters (nil no-ops until SetRegistry). The draws are
+	// pure functions of the RNG streams, so counting them never perturbs
+	// the loss processes.
+	cPktDrop   *obs.Counter
+	cGrantDrop *obs.Counter
 }
 
 // NewInjector prepares a schedule for injection. The loss streams are
@@ -320,6 +327,14 @@ func NewInjector(s *Schedule) *Injector {
 
 // Schedule returns the underlying schedule.
 func (in *Injector) Schedule() *Schedule { return in.s }
+
+// SetRegistry attaches observability counters for the Bernoulli loss
+// draws ("faults.packets_dropped", "faults.grants_dropped"). A nil
+// registry detaches them.
+func (in *Injector) SetRegistry(r *obs.Registry) {
+	in.cPktDrop = r.Counter("faults.packets_dropped")
+	in.cGrantDrop = r.Counter("faults.grants_dropped")
+}
 
 // NextBoundaryAfter returns the earliest fault-window start or end
 // strictly after t — the next instant the fault state changes and the
@@ -390,12 +405,20 @@ func (in *Injector) TransitionsAt(t float64) (linkStarts, linkEnds, outageStarts
 // DropPacket draws the next packet-loss Bernoulli: true means the
 // scheduled packet is lost in flight and stays in its VOQ (Eq. 1's L(t)).
 func (in *Injector) DropPacket() bool {
-	return in.s.PacketLossProb > 0 && in.lossRNG.Float64() < in.s.PacketLossProb
+	drop := in.s.PacketLossProb > 0 && in.lossRNG.Float64() < in.s.PacketLossProb
+	if drop {
+		in.cPktDrop.Inc()
+	}
+	return drop
 }
 
 // DropGrant draws the next control-message-loss Bernoulli for the
 // distributed arbitration: true means the request/grant exchange is lost
 // and the proposing host must retry, costing an arbitration round.
 func (in *Injector) DropGrant() bool {
-	return in.s.GrantLossProb > 0 && in.grantRNG.Float64() < in.s.GrantLossProb
+	drop := in.s.GrantLossProb > 0 && in.grantRNG.Float64() < in.s.GrantLossProb
+	if drop {
+		in.cGrantDrop.Inc()
+	}
+	return drop
 }

@@ -24,6 +24,17 @@ type Task struct {
 	Run func(seed uint64) (Sample, error)
 }
 
+// Progress reports one finished (replicate, task) unit. Done counts units
+// finished so far, including this one.
+type Progress struct {
+	Done   int
+	Total  int
+	Task   string
+	Seed   uint64
+	Sample Sample
+	Err    error
+}
+
 // Config parameterizes a multi-seed run.
 type Config struct {
 	// Seeds is the number of independent replicates (>= 1).
@@ -35,6 +46,14 @@ type Config struct {
 	// RootSeed is the root of the per-replicate seed derivation (0
 	// selects 1). Replicate i runs at DeriveSeed(RootSeed, i).
 	RootSeed uint64
+	// OnProgress, when non-nil, is called once per finished unit, from
+	// the worker that finished it, serialized by an internal mutex so
+	// implementations need no locking of their own. Units complete in
+	// pool order, so the callback sequence is NOT deterministic across
+	// runs — it exists for live observability (per-seed progress lines),
+	// never for results; the aggregate stays byte-identical at any worker
+	// count regardless of what the callback observes.
+	OnProgress func(Progress)
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +130,8 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 	start := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	var done int
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -123,6 +144,16 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 					err = fmt.Errorf("runner: task %q seed %d: %w", task.Name, seed, err)
 				}
 				units[u] = unit{sample: sample, err: err}
+				if cfg.OnProgress != nil {
+					progressMu.Lock()
+					done++
+					cfg.OnProgress(Progress{
+						Done: done, Total: nUnits,
+						Task: task.Name, Seed: seed,
+						Sample: sample, Err: err,
+					})
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}

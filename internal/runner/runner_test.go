@@ -198,3 +198,57 @@ func TestCI95Value(t *testing.T) {
 		t.Fatalf("mean %g ci %g, want 3 / %g", m.Mean, m.CI95, want)
 	}
 }
+
+func TestOnProgressReportsEveryUnit(t *testing.T) {
+	tasks := twoTasks()
+	var events []Progress
+	agg, err := Run(Config{Seeds: 3, Parallel: 4, RootSeed: 5, OnProgress: func(p Progress) {
+		events = append(events, p) // mutex-serialized by the runner
+	}}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("progress events = %d, want 6", len(events))
+	}
+	seenTasks := map[string]int{}
+	for i, p := range events {
+		if p.Done != i+1 || p.Total != 6 {
+			t.Fatalf("event %d: Done/Total = %d/%d", i, p.Done, p.Total)
+		}
+		if p.Err != nil || p.Sample == nil {
+			t.Fatalf("event %d: err=%v sample=%v", i, p.Err, p.Sample)
+		}
+		seenTasks[p.Task]++
+	}
+	if seenTasks["a"] != 3 || seenTasks["b"] != 3 {
+		t.Fatalf("task coverage = %v", seenTasks)
+	}
+	// The callback must not perturb aggregation: identical to a callback-
+	// free run.
+	plain, err := Run(Config{Seeds: 3, Parallel: 1, RootSeed: 5}, twoTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(agg.Metrics, plain.Metrics) {
+		t.Fatal("OnProgress changed the aggregate")
+	}
+}
+
+func TestOnProgressCarriesFailures(t *testing.T) {
+	boom := []Task{{Name: "boom", Run: func(seed uint64) (Sample, error) {
+		return nil, fmt.Errorf("bad seed %d", seed)
+	}}}
+	var failed int
+	_, err := Run(Config{Seeds: 2, Parallel: 2, OnProgress: func(p Progress) {
+		if p.Err != nil {
+			failed++
+		}
+	}}, boom)
+	if err == nil {
+		t.Fatal("expected run error")
+	}
+	if failed != 2 {
+		t.Fatalf("failed progress events = %d, want 2", failed)
+	}
+}

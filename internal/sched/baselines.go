@@ -43,6 +43,9 @@ func (s *MaxWeight) ConsumesDirty() bool { return s.g.consumesDirty() }
 // CheckIndex implements IndexChecker.
 func (s *MaxWeight) CheckIndex(t *flow.Table) error { return s.g.checkIndex(t, s.key) }
 
+// IndexStats implements IndexStatser.
+func (s *MaxWeight) IndexStats() IndexStats { return s.g.indexStats() }
+
 // FIFOMatch serves flows in arrival order: the oldest flow among the
 // non-empty VOQs wins each greedy step. It is the classic "fair but slow"
 // reference against which SRPT's delay advantage is usually shown.
@@ -130,6 +133,9 @@ func (s *ThresholdBacklog) ConsumesDirty() bool { return s.g.consumesDirty() }
 
 // CheckIndex implements IndexChecker.
 func (s *ThresholdBacklog) CheckIndex(t *flow.Table) error { return s.g.checkIndex(t, s.key) }
+
+// IndexStats implements IndexStatser.
+func (s *ThresholdBacklog) IndexStats() IndexStats { return s.g.indexStats() }
 
 // Random picks a uniformly random maximal matching each decision. It is the
 // naive lower bound for both delay and stability experiments, and doubles

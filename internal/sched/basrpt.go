@@ -70,6 +70,9 @@ func (s *FastBASRPT) CheckIndex(t *flow.Table) error {
 	return s.g.checkIndex(t, s.key)
 }
 
+// IndexStats implements IndexStatser.
+func (s *FastBASRPT) IndexStats() IndexStats { return s.g.indexStats() }
+
 // ExactBASRPT is the exact drift-plus-penalty minimizer of Section IV-A:
 // it enumerates every maximal matching of the non-empty VOQs and selects
 // the one minimizing V·ȳ(t) − Σij Xij(t)Rij(t), where ȳ is the mean

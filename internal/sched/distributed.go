@@ -32,6 +32,8 @@ type Distributed struct {
 	// costing one arbitration round of the budget.
 	dropGrant  func() bool
 	grantsLost int64
+
+	totalRounds int64 // arbitration rounds executed across all decisions
 }
 
 var _ Scheduler = (*Distributed)(nil)
@@ -66,6 +68,11 @@ func NewLossyDistributed(v float64, rounds int, dropGrant func() bool) *Distribu
 // GrantsLost returns the cumulative lost control messages across all
 // Schedule calls.
 func (s *Distributed) GrantsLost() int64 { return s.grantsLost }
+
+// TotalRounds returns the cumulative arbitration rounds executed across
+// all Schedule calls — the convergence-cost counter the observability
+// layer reports (rounds per decision is the E11 quality/latency trade).
+func (s *Distributed) TotalRounds() int64 { return s.totalRounds }
 
 // Name returns "dist-basrpt(V=..., rounds=...)", with a "+loss" suffix
 // when a control-message-loss source is attached.
@@ -128,6 +135,7 @@ func (s *Distributed) Schedule(t *flow.Table) []*flow.Flow {
 		maxRounds = n * n // GS terminates well within n² proposals
 	}
 	for round := 0; round < maxRounds && len(free) > 0; round++ {
+		s.totalRounds++
 		// A fresh slice each round: appending into free's backing array
 		// while ranging over it would corrupt the iteration.
 		nextFree := make([]int, 0, len(free))

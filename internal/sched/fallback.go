@@ -14,15 +14,17 @@ import "basrpt/internal/flow"
 // that would place them is exactly the one that is down); they wait in
 // their VOQs until the scheduler recovers.
 type OutageFallback struct {
-	inner  Scheduler
-	outage bool
-	last   []*flow.Flow // private copy of the last live decision
-	held   int64
+	inner       Scheduler
+	outage      bool
+	last        []*flow.Flow // private copy of the last live decision
+	held        int64
+	activations int64
 }
 
 var _ Scheduler = (*OutageFallback)(nil)
 var _ DirtyConsumer = (*OutageFallback)(nil)
 var _ IndexChecker = (*OutageFallback)(nil)
+var _ IndexStatser = (*OutageFallback)(nil)
 
 // NewOutageFallback wraps inner. It panics on a nil inner scheduler
 // (programmer error, matching the sibling constructors).
@@ -35,11 +37,20 @@ func NewOutageFallback(inner Scheduler) *OutageFallback {
 
 // SetOutage flips the scheduler's reachability; the fabric calls it from
 // the fault injector's view before every decision.
-func (s *OutageFallback) SetOutage(down bool) { s.outage = down }
+func (s *OutageFallback) SetOutage(down bool) {
+	if down && !s.outage {
+		s.activations++
+	}
+	s.outage = down
+}
 
 // HeldDecisions returns how many decisions were served from the held
 // matching.
 func (s *OutageFallback) HeldDecisions() int64 { return s.held }
+
+// Activations returns how many times the fallback engaged (up→down
+// transitions of the wrapped scheduler's reachability).
+func (s *OutageFallback) Activations() int64 { return s.activations }
 
 // Name returns the wrapped discipline's name with a "+hold" suffix.
 func (s *OutageFallback) Name() string { return s.inner.Name() + "+hold" }
@@ -78,3 +89,6 @@ func (s *OutageFallback) ConsumesDirty() bool { return IsDirtyConsumer(s.inner) 
 // CheckIndex delegates the deep-validation cross-check to the wrapped
 // scheduler's index.
 func (s *OutageFallback) CheckIndex(t *flow.Table) error { return CheckIndex(s.inner, t) }
+
+// IndexStats delegates to the wrapped scheduler's index counters.
+func (s *OutageFallback) IndexStats() IndexStats { return IndexStatsOf(s.inner) }

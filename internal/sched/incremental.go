@@ -44,6 +44,9 @@ type candidateIndex struct {
 
 	changes []scored // repair scratch: the re-scored dirty candidates
 	merged  []scored // repair double buffer, swapped with view
+
+	repairs  int64 // sync calls satisfied by a delta repair
+	rebuilds int64 // sync calls that needed a full rebuild
 }
 
 // voqIdx locates the VOQ an entry's flow belongs to.
@@ -68,8 +71,10 @@ func (ix *candidateIndex) synced(t *flow.Table) bool {
 // rebuild otherwise.
 func (ix *candidateIndex) sync(t *flow.Table, key Key) {
 	if ix.current(t) {
+		ix.repairs++
 		ix.repair(t, key)
 	} else {
+		ix.rebuilds++
 		ix.rebuild(t, key)
 	}
 	t.ClearDirty()

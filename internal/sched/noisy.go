@@ -74,6 +74,9 @@ func (s *NoisyFastBASRPT) CheckIndex(t *flow.Table) error {
 	return s.g.checkIndex(t, s.key)
 }
 
+// IndexStats implements IndexStatser.
+func (s *NoisyFastBASRPT) IndexStats() IndexStats { return s.g.indexStats() }
+
 // factor derives the flow's deterministic estimation error from its ID via
 // a splitmix64-style hash, mapped log-uniformly onto
 // [1/(1+noise), 1+noise]. Determinism keeps runs reproducible and gives

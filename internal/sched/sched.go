@@ -90,6 +90,33 @@ func CheckIndex(s Scheduler, t *flow.Table) error {
 	return nil
 }
 
+// IndexStats counts the incremental index's maintenance work: how many
+// decisions were satisfied by a delta repair of the dirty VOQs versus a
+// full rebuild. The observability layer reports them per run — a rebuild
+// count above the handful expected (first decision, ablation toggles,
+// table swaps) means the single-consumer contract is being violated and
+// the index is silently degrading to from-scratch cost.
+type IndexStats struct {
+	Repairs  int64
+	Rebuilds int64
+}
+
+// IndexStatser is implemented by schedulers that maintain an incremental
+// candidate index; wrappers (e.g. OutageFallback) delegate to the
+// scheduler they wrap.
+type IndexStatser interface {
+	IndexStats() IndexStats
+}
+
+// IndexStatsOf returns s's index-maintenance counters when it keeps an
+// incremental index; the zero stats otherwise.
+func IndexStatsOf(s Scheduler) IndexStats {
+	if is, ok := s.(IndexStatser); ok {
+		return is.IndexStats()
+	}
+	return IndexStats{}
+}
+
 // Candidate pairs a flow with the backlog of the VOQ it sits in, the two
 // quantities every discipline's key is built from.
 type Candidate struct {
@@ -133,6 +160,15 @@ func (g *greedy) setIncremental(on bool) {
 // consumesDirty reports whether scheduling through g consumes the table's
 // dirty-VOQ feed (see flow.Table's change-tracking contract).
 func (g *greedy) consumesDirty() bool { return !g.noIndex }
+
+// indexStats returns the index's repair/rebuild counters (zero when the
+// index is disabled or not yet built).
+func (g *greedy) indexStats() IndexStats {
+	if g.idx == nil {
+		return IndexStats{}
+	}
+	return IndexStats{Repairs: g.idx.repairs, Rebuilds: g.idx.rebuilds}
+}
 
 // gather collects one scored candidate per non-empty VOQ.
 func (g *greedy) gather(t *flow.Table, key Key) {

@@ -41,3 +41,6 @@ func (s *SRPT) ConsumesDirty() bool { return s.g.consumesDirty() }
 
 // CheckIndex implements IndexChecker.
 func (s *SRPT) CheckIndex(t *flow.Table) error { return s.g.checkIndex(t, s.key) }
+
+// IndexStats implements IndexStatser.
+func (s *SRPT) IndexStats() IndexStats { return s.g.indexStats() }

@@ -5,6 +5,7 @@ import (
 
 	"basrpt/internal/flow"
 	"basrpt/internal/metrics"
+	"basrpt/internal/obs"
 	"basrpt/internal/sched"
 )
 
@@ -31,6 +32,14 @@ type Config struct {
 	// conservation (arrived = departed + backlog) still holds.
 	// faults.Injector satisfies this.
 	Loss PacketDropper
+	// Obs, when non-nil, receives occupancy/loss instrumentation: the
+	// "switch.arrived_packets" / "switch.departed_packets" /
+	// "switch.packets_lost" / "switch.completed_flows" counters, the
+	// "switch.total_backlog" occupancy gauge (sampled on the SampleEvery
+	// cadence, with its high-water mark), and a "switch.drop" trace event
+	// per lost packet (T is the slot index, Port the ingress). A nil Obs
+	// costs one pointer comparison per probe.
+	Obs *obs.Obs
 }
 
 // PacketDropper decides per scheduled packet whether it is lost in
@@ -57,6 +66,13 @@ type Sim struct {
 	totalBacklog  metrics.Series
 	maxPortSeries metrics.Series
 	lyapunov      metrics.Series
+
+	// Instrumentation, resolved once at New (nil no-ops when cfg.Obs is nil).
+	cArrived   *obs.Counter
+	cDeparted  *obs.Counter
+	cLost      *obs.Counter
+	cCompleted *obs.Counter
+	gBacklog   *obs.Gauge
 }
 
 // New validates the configuration and builds a simulation.
@@ -73,12 +89,18 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 1
 	}
-	return &Sim{
+	s := &Sim{
 		cfg:    cfg,
 		table:  flow.NewTable(cfg.N),
 		nextID: 1,
 		fct:    metrics.NewFCT(),
-	}, nil
+	}
+	s.cArrived = cfg.Obs.Counter("switch.arrived_packets")
+	s.cDeparted = cfg.Obs.Counter("switch.departed_packets")
+	s.cLost = cfg.Obs.Counter("switch.packets_lost")
+	s.cCompleted = cfg.Obs.Counter("switch.completed_flows")
+	s.gBacklog = cfg.Obs.Gauge("switch.total_backlog")
+	return s, nil
 }
 
 // Slot returns the index of the next slot to execute.
@@ -98,6 +120,7 @@ func (s *Sim) Step() error {
 		s.nextID++
 		s.table.Add(f)
 		s.arrivedPackets += float64(a.Packets)
+		s.cArrived.Add(int64(a.Packets))
 	}
 
 	decision := s.cfg.Scheduler.Schedule(s.table)
@@ -117,12 +140,16 @@ func (s *Sim) Step() error {
 			// (i.e. is never drained) and the slot's service is wasted —
 			// Eq. (1)'s X(t+1) = X(t) + A(t) − R(t) + L(t) with L(t) = 1.
 			s.lostPackets++
+			s.cLost.Inc()
+			s.cfg.Obs.Emit(float64(t), "switch.drop", f.Src, 1, "")
 			continue
 		}
 		s.departedPackets += s.table.Drain(f, 1)
+		s.cDeparted.Inc()
 		if f.Remaining <= 0 {
 			s.table.Remove(f)
 			s.completedFlows++
+			s.cCompleted.Inc()
 			// FCT in slots: a flow arriving at the beginning of slot a and
 			// finishing during slot c has occupied c − a + 1 slots.
 			s.fct.Add(flow.ClassOther, float64(t)-f.Arrival+1)
@@ -131,6 +158,7 @@ func (s *Sim) Step() error {
 
 	if t%s.cfg.SampleEvery == 0 {
 		ft := float64(t)
+		s.gBacklog.Set(s.table.TotalBacklog())
 		s.totalBacklog.Add(ft, s.table.TotalBacklog())
 		_, maxB := s.table.MaxIngressBacklog()
 		s.maxPortSeries.Add(ft, maxB)

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"basrpt/internal/obs"
+)
+
+// TraceSchema identifies the JSONL trace format version. The first line of
+// a trace file is a TraceHeader carrying this string; every following line
+// is one obs.Event. Bump the suffix when the line shape changes.
+const TraceSchema = "basrpt-trace/1"
+
+// TraceHeader is the first line of a JSONL trace: run provenance that a
+// reader needs to interpret the event stream. Field order is fixed so that
+// marshaling is byte-deterministic across runs.
+type TraceHeader struct {
+	Schema      string  `json:"schema"`
+	Seed        int64   `json:"seed"`
+	Scheduler   string  `json:"scheduler"`
+	Hosts       int     `json:"hosts"`
+	Load        float64 `json:"load"`
+	DurationSec float64 `json:"durationSec"`
+	WallClock   bool    `json:"wallClock,omitempty"`
+}
+
+// EventWriter streams obs events to w as JSONL, one event per line after a
+// header line. It implements obs.EventSink, so it plugs straight into
+// obs.Options.Sink. Errors are sticky: after the first write failure every
+// call reports it and nothing more is written.
+type EventWriter struct {
+	bw     *bufio.Writer
+	err    error
+	events int64
+}
+
+// NewEventWriter writes the header line to w and returns a writer for the
+// event stream. A header write failure is returned immediately; the caller
+// should not use the writer after an error.
+func NewEventWriter(w io.Writer, h TraceHeader) (*EventWriter, error) {
+	h.Schema = TraceSchema
+	ew := &EventWriter{bw: bufio.NewWriter(w)}
+	if err := ew.writeLine(h); err != nil {
+		return nil, err
+	}
+	return ew, nil
+}
+
+func (ew *EventWriter) writeLine(v any) error {
+	if ew.err != nil {
+		return ew.err
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = ew.bw.Write(b)
+	}
+	if err != nil {
+		ew.err = err
+	}
+	return err
+}
+
+// WriteEvent appends one event line (obs.EventSink).
+func (ew *EventWriter) WriteEvent(ev obs.Event) error {
+	if err := ew.writeLine(ev); err != nil {
+		return err
+	}
+	ew.events++
+	return nil
+}
+
+// Events returns how many events have been written successfully.
+func (ew *EventWriter) Events() int64 { return ew.events }
+
+// Err returns the sticky write error, if any.
+func (ew *EventWriter) Err() error { return ew.err }
+
+// Flush drains the buffer to the underlying writer. Call it (or check its
+// error) before closing the file: JSONL lines are buffered.
+func (ew *EventWriter) Flush() error {
+	if ew.err != nil {
+		return ew.err
+	}
+	if err := ew.bw.Flush(); err != nil {
+		ew.err = err
+		return err
+	}
+	return nil
+}
+
+// ReadTrace parses a JSONL trace produced by EventWriter: a header line
+// followed by zero or more event lines. It validates the schema string and
+// that event sequence numbers are monotonically increasing, so a truncated
+// or shuffled file is reported rather than silently accepted. An empty
+// input (no header) is an ErrShape.
+func ReadTrace(r io.Reader) (TraceHeader, []obs.Event, error) {
+	var h TraceHeader
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, err
+		}
+		return h, nil, fmt.Errorf("%w: empty trace (missing header line)", ErrShape)
+	}
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return h, nil, fmt.Errorf("%w: bad header line: %v", ErrShape, err)
+	}
+	if h.Schema != TraceSchema {
+		return h, nil, fmt.Errorf("%w: schema %q, want %q", ErrShape, h.Schema, TraceSchema)
+	}
+	var events []obs.Event
+	var lastSeq uint64
+	line := 1
+	for sc.Scan() {
+		line++
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return h, events, fmt.Errorf("%w: line %d: %v", ErrShape, line, err)
+		}
+		if ev.Seq <= lastSeq {
+			return h, events, fmt.Errorf("%w: line %d: seq %d not after %d", ErrShape, line, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return h, events, err
+	}
+	return h, events, nil
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"basrpt/internal/obs"
+)
+
+func sampleHeader() TraceHeader {
+	return TraceHeader{
+		Seed:        42,
+		Scheduler:   "fast-basrpt",
+		Hosts:       16,
+		Load:        0.8,
+		DurationSec: 1.5,
+	}
+}
+
+func sampleEvents() []obs.Event {
+	return []obs.Event{
+		{Seq: 1, T: 0.001, Kind: "sample.total", Port: -1, Value: 1500},
+		{Seq: 2, T: 0.002, Kind: "flow.done", Port: 3, Value: 0.0013, Detail: "query"},
+		{Seq: 3, T: 0.004, Kind: "fault.link.start", Port: 7, Value: 0.5},
+	}
+}
+
+func writeTrace(t *testing.T, h TraceHeader, events []obs.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	ew, err := NewEventWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := ew.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	raw := writeTrace(t, sampleHeader(), sampleEvents())
+	h, events, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != TraceSchema {
+		t.Fatalf("schema = %q", h.Schema)
+	}
+	want := sampleHeader()
+	want.Schema = TraceSchema
+	if h != want {
+		t.Fatalf("header = %+v, want %+v", h, want)
+	}
+	if !reflect.DeepEqual(events, sampleEvents()) {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestJSONLEmptyRun(t *testing.T) {
+	// A run that emitted no events is still a valid trace: just a header.
+	raw := writeTrace(t, sampleHeader(), nil)
+	h, events, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seed != 42 || len(events) != 0 {
+		t.Fatalf("header %+v, %d events", h, len(events))
+	}
+	// A completely empty file is not.
+	if _, _, err := ReadTrace(strings.NewReader("")); !errors.Is(err, ErrShape) {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestJSONLWriterCountsAndSink(t *testing.T) {
+	var buf bytes.Buffer
+	ew, err := NewEventWriter(&buf, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EventWriter must satisfy obs.EventSink so it plugs into obs.Options.
+	var _ obs.EventSink = ew
+	o := obs.New(obs.Options{Sink: ew})
+	o.Emit(0.1, "a", -1, 1, "")
+	o.Emit(0.2, "b", 2, 3, "d")
+	if ew.Events() != 2 || ew.Err() != nil {
+		t.Fatalf("events=%d err=%v", ew.Events(), ew.Err())
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err := ReadTrace(&buf)
+	if err != nil || len(events) != 2 || events[1].Detail != "d" {
+		t.Fatalf("read back: %v, %+v", err, events)
+	}
+}
+
+func TestJSONLTruncatedAndCorrupt(t *testing.T) {
+	raw := writeTrace(t, sampleHeader(), sampleEvents())
+	lines := strings.SplitAfter(string(raw), "\n")
+
+	// Truncation mid-line: the partial JSON object fails to parse, and the
+	// events before the cut are still returned for salvage.
+	cut := raw[:len(raw)-10]
+	_, events, err := ReadTrace(bytes.NewReader(cut))
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("truncated trace: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("salvaged %d events, want 2", len(events))
+	}
+
+	// Out-of-order sequence numbers (e.g. concatenated traces) are rejected.
+	shuffled := lines[0] + lines[2] + lines[1]
+	if _, _, err := ReadTrace(strings.NewReader(shuffled)); !errors.Is(err, ErrShape) {
+		t.Fatalf("shuffled trace: %v", err)
+	}
+
+	// Wrong schema string.
+	bad := strings.Replace(lines[0], TraceSchema, "basrpt-trace/999", 1)
+	if _, _, err := ReadTrace(strings.NewReader(bad)); !errors.Is(err, ErrShape) {
+		t.Fatalf("schema mismatch: %v", err)
+	}
+
+	// Garbage header.
+	if _, _, err := ReadTrace(strings.NewReader("not json\n")); !errors.Is(err, ErrShape) {
+		t.Fatalf("garbage header: %v", err)
+	}
+}
+
+func TestJSONLDeterministicBytes(t *testing.T) {
+	a := writeTrace(t, sampleHeader(), sampleEvents())
+	b := writeTrace(t, sampleHeader(), sampleEvents())
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical traces serialized to different bytes")
+	}
+}
+
+// failWriter fails every write after the first n bytes have been accepted.
+type failWriter struct {
+	n       int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errDiskFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestJSONLWriterFailureIsSticky(t *testing.T) {
+	// Fail during the header write: bufio only hits the underlying writer on
+	// flush or overflow, so use a tiny buffer via many events instead —
+	// simplest deterministic trigger is a zero-capacity failWriter + Flush.
+	ew, err := NewEventWriter(&failWriter{}, sampleHeader())
+	if err != nil {
+		t.Fatalf("header write buffered, should not fail yet: %v", err)
+	}
+	if err := ew.WriteEvent(obs.Event{Seq: 1}); err != nil {
+		t.Fatalf("buffered event write failed: %v", err)
+	}
+	if err := ew.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("flush error = %v", err)
+	}
+	// Sticky: every later call reports the same failure and writes nothing.
+	if err := ew.WriteEvent(obs.Event{Seq: 2}); !errors.Is(err, errDiskFull) {
+		t.Fatalf("post-failure write error = %v", err)
+	}
+	if err := ew.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("post-failure flush error = %v", err)
+	}
+	if ew.Events() != 1 {
+		t.Fatalf("events = %d, want 1 (pre-failure only)", ew.Events())
+	}
+	if ew.Err() == nil {
+		t.Fatal("Err not sticky")
+	}
+}

@@ -64,6 +64,21 @@ func TestWriteColumnsCSVShapeErrors(t *testing.T) {
 	}
 }
 
+func TestWriteFailuresPropagate(t *testing.T) {
+	// A failing destination must surface from every writer, not vanish into
+	// the csv/json buffering.
+	if err := WriteSeriesCSV(&failWriter{}, "v", sampleSeries()); !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteSeriesCSV error = %v", err)
+	}
+	err := WriteColumnsCSV(&failWriter{}, []string{"a"}, [][]float64{{1, 2}})
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteColumnsCSV error = %v", err)
+	}
+	if err := WriteJSON(&failWriter{}, map[string]int{"x": 1}); !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteJSON error = %v", err)
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, map[string]int{"x": 1}); err != nil {

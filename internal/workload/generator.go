@@ -109,6 +109,11 @@ type Mixed struct {
 
 var _ Generator = (*Mixed)(nil)
 
+// QueueHighWater returns the event calendar's peak pending-event count
+// (see eventq.Queue.HighWater); the fabric simulator snapshots it into the
+// observability registry at the end of a run.
+func (m *Mixed) QueueHighWater() int { return m.queue.HighWater() }
+
 type streamEvent struct {
 	host  int
 	class flow.Class

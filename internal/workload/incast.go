@@ -56,6 +56,18 @@ type Incast struct {
 
 var _ Generator = (*Incast)(nil)
 
+// QueueHighWater returns the peak pending-event count across the incast
+// calendar and the background generator's (see eventq.Queue.HighWater).
+func (g *Incast) QueueHighWater() int {
+	hw := g.queue.HighWater()
+	if g.bg != nil {
+		if bg := g.bg.QueueHighWater(); bg > hw {
+			hw = bg
+		}
+	}
+	return hw
+}
+
 type incastJobEvent struct{}
 
 // NewIncast validates the configuration and builds the generator.
