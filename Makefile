@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs trace-smoke cover experiments stability fuzz clean
+.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc trace-smoke cover experiments stability fuzz clean
 
 all: build test
 
@@ -57,6 +57,20 @@ bench-obs:
 # Simulated horizon of the bench-obs fabric pairs (four runs total).
 OBSBENCH_DURATION ?= 0.1
 
+# GC-pressure regression gate: pooled-vs-baseline fabric runs on the
+# paper's 144-host topology at 0.8 load, asserting byte-identical Results
+# and measuring allocations and GC cycles per scheduling decision via
+# runtime.ReadMemStats deltas around the event loop. The report goes to
+# BENCH_alloc.json (uploaded as a CI artifact) and the pooled arm must stay
+# within the checked-in bench_alloc_budget.json, or the target fails.
+bench-alloc:
+	$(GO) run ./cmd/basrptbench -allocbench BENCH_alloc.json \
+		-allocbudget bench_alloc_budget.json \
+		-racks 12 -hosts 12 -duration $(ALLOCBENCH_DURATION)
+
+# Simulated horizon of the bench-alloc fabric pairs (four runs total).
+ALLOCBENCH_DURATION ?= 0.02
+
 # Trace-export smoke check: two fixed-seed traced runs must produce
 # byte-identical JSONL (the determinism contract CI also enforces).
 trace-smoke:
@@ -89,4 +103,4 @@ fuzz:
 clean:
 	$(GO) clean ./...
 	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata
-	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json trace_smoke_a.jsonl trace_smoke_b.jsonl
+	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json BENCH_alloc.json trace_smoke_a.jsonl trace_smoke_b.jsonl

@@ -282,6 +282,15 @@ type (
 	// ObsBenchResult quantifies the observability layer's cost (the
 	// BENCH_obs.json shape) and trace determinism.
 	ObsBenchResult = core.ObsBenchResult
+	// AllocBenchResult reports the hot path's steady-state allocator
+	// pressure (the BENCH_alloc.json shape): bytes/allocs per decision
+	// and GC cycles per million decisions, pooled vs non-pooled.
+	AllocBenchResult = core.AllocBenchResult
+	// AllocBenchRow is one discipline's pooled-vs-baseline allocation row.
+	AllocBenchRow = core.AllocBenchRow
+	// AllocBudget is the checked-in per-decision allocation ceiling the CI
+	// gate enforces over BENCH_alloc.json.
+	AllocBudget = core.AllocBudget
 )
 
 // Observability (see internal/obs): a deterministic instrumentation
@@ -442,6 +451,16 @@ func RunSchedBench(scale Scale, load float64) (*SchedBenchResult, error) {
 // default).
 func RunObsBench(scale Scale, load float64) (*ObsBenchResult, error) {
 	return core.RunObsBench(scale, load)
+}
+
+// RunAllocBench measures the steady-state allocator pressure of the
+// scheduling hot path: SRPT and fast BASRPT each run twice on the
+// identical arrival stream — flow pooling on (default) and off — and the
+// report carries bytes/allocs per decision and GC cycles per million
+// decisions for both arms (load <= 0 selects the 0.8 default). The two
+// arms must produce byte-identical Results or the bench errors.
+func RunAllocBench(scale Scale, load float64) (*AllocBenchResult, error) {
+	return core.RunAllocBench(scale, load)
 }
 
 // RunFaults compares SRPT and fast BASRPT under byte-identical workloads

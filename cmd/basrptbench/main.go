@@ -28,6 +28,13 @@
 // (budget: 2%) and trace byte-determinism, written to PATH (the CI
 // artifact BENCH_obs.json).
 //
+// With -allocbench PATH the tool instead measures steady-state allocator
+// pressure: bytes and allocations per scheduling decision and GC cycles
+// per million decisions, pooled default versus the non-pooled baseline on
+// byte-identical runs, written to PATH (the CI artifact BENCH_alloc.json).
+// Pass -allocbudget FILE to fail the run when allocs/decision exceeds the
+// checked-in budget (the CI allocation gate).
+//
 // Profiling: -cpuprofile/-memprofile write pprof profiles around whatever
 // work the other flags select; -pprof ADDR serves net/http/pprof for live
 // inspection of long runs.
@@ -77,6 +84,8 @@ func run(args []string, w io.Writer) error {
 		benchJSON = fs.String("benchjson", "", "multi-seed only: also rerun serially and write a runs/sec + speedup report to this path")
 		schedJSON = fs.String("schedbench", "", "instead of experiments: benchmark the incremental scheduling core against the from-scratch baseline at this scale (load 0.8) and write decisions/sec + speedup to this path")
 		obsJSON   = fs.String("obsbench", "", "instead of experiments: measure observability overhead + trace determinism at this scale (load 0.8) and write the report to this path")
+		allocJSON = fs.String("allocbench", "", "instead of experiments: measure steady-state allocations/GC per decision (pooled vs non-pooled byte-identical runs, load 0.8) and write the report to this path")
+		allocBudg = fs.String("allocbudget", "", "with -allocbench: JSON budget file (max_allocs_per_decision, max_alloc_bytes_per_decision); exceeding it fails the run")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the selected work to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile (after the selected work) to this file")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the work runs")
@@ -150,6 +159,12 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("-obsbench runs single-seed pairs (drop -seeds)")
 		}
 		return runObsBench(w, scale, *obsJSON)
+	}
+	if *allocJSON != "" {
+		if *seeds > 1 {
+			return fmt.Errorf("-allocbench runs single-seed pairs (drop -seeds)")
+		}
+		return runAllocBench(w, scale, *allocJSON, *allocBudg)
 	}
 
 	wanted := strings.Split(*exp, ",")
@@ -518,6 +533,69 @@ func runObsBench(w io.Writer, scale basrpt.Scale, path string) error {
 		return fmt.Errorf("obsbench: %w", err)
 	}
 	fmt.Fprintf(w, "[obs report written to %s]\n", path)
+	return nil
+}
+
+// allocReport is the -allocbench artifact (BENCH_alloc.json in CI): the
+// steady-state allocator pressure of the hot path — bytes and allocations
+// per decision, GC cycles per million decisions — for the pooled default
+// against the non-pooled baseline on byte-identical runs, plus the budget
+// the run was gated on (when one was supplied).
+type allocReport struct {
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Scale      string                 `json:"scale"`
+	Load       float64                `json:"load"`
+	Budget     *basrpt.AllocBudget    `json:"budget,omitempty"`
+	Schedulers []basrpt.AllocBenchRow `json:"schedulers"`
+}
+
+// runAllocBench is the -allocbench path: pooled-vs-baseline allocation
+// pairs on byte-identical runs, rendered as a table, written as JSON, and
+// checked against the budget file when one is given (the CI gate).
+func runAllocBench(w io.Writer, scale basrpt.Scale, path, budgetPath string) error {
+	start := time.Now()
+	res, err := basrpt.RunAllocBench(scale, 0)
+	if err != nil {
+		return fmt.Errorf("allocbench: %w", err)
+	}
+	fmt.Fprintln(w, res.Render())
+	fmt.Fprintf(w, "[allocbench took %s]\n", time.Since(start).Round(time.Millisecond))
+	report := allocReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      res.Scale.String(),
+		Load:       res.Load,
+		Schedulers: res.Rows,
+	}
+	var budgetErr error
+	if budgetPath != "" {
+		raw, err := os.ReadFile(budgetPath)
+		if err != nil {
+			return fmt.Errorf("allocbench: budget: %w", err)
+		}
+		var budget basrpt.AllocBudget
+		if err := json.Unmarshal(raw, &budget); err != nil {
+			return fmt.Errorf("allocbench: budget %s: %w", budgetPath, err)
+		}
+		report.Budget = &budget
+		// Write the report even on a violation, so CI archives the numbers
+		// that failed the gate.
+		budgetErr = res.CheckBudget(budget)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("allocbench: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("allocbench: %w", err)
+	}
+	fmt.Fprintf(w, "[alloc report written to %s]\n", path)
+	if budgetErr != nil {
+		return fmt.Errorf("allocbench: %w", budgetErr)
+	}
+	if budgetPath != "" {
+		fmt.Fprintf(w, "[alloc budget OK: <= %.2f allocs/decision, <= %.0f bytes/decision]\n",
+			report.Budget.MaxAllocsPerDecision, report.Budget.MaxAllocBytesPerDecision)
+	}
 	return nil
 }
 

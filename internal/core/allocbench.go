@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"basrpt/internal/fabricsim"
+	"basrpt/internal/flow"
+	"basrpt/internal/metrics"
+	"basrpt/internal/sched"
+	"basrpt/internal/trace"
+	"basrpt/internal/workload"
+)
+
+// AllocBudget is the checked-in ceiling the CI allocation gate enforces
+// (bench_alloc_budget.json at the repository root, mirroring the obs
+// 2%-overhead gate): the pooled arm of every discipline must stay at or
+// under both per-decision figures or RunAllocBench's CheckBudget fails
+// the build. The budget is deliberately loose against the measured
+// steady-state numbers (~0 allocs/decision) so routine noise — metrics
+// slices doubling, the end-of-run registry snapshot — never trips it,
+// while reintroducing a genuine per-decision allocation (one slice, one
+// flow, one boxed event) overshoots it immediately.
+type AllocBudget struct {
+	MaxAllocsPerDecision     float64 `json:"max_allocs_per_decision"`
+	MaxAllocBytesPerDecision float64 `json:"max_alloc_bytes_per_decision"`
+}
+
+// AllocBenchRow reports one discipline's steady-state allocation behavior:
+// the pooled (default) configuration next to the non-pooled baseline
+// (Config.DisableFlowPool), measured on byte-identical runs. The JSON
+// tags shape BENCH_alloc.json, the GC-pressure artifact CI archives per
+// commit.
+type AllocBenchRow struct {
+	Discipline string `json:"discipline"`
+	Decisions  int64  `json:"decisions"`
+
+	AllocsPerDecision     float64 `json:"allocs_per_decision"`
+	AllocBytesPerDecision float64 `json:"alloc_bytes_per_decision"`
+	GCPerMillionDecisions float64 `json:"gc_cycles_per_million_decisions"`
+	DecisionsPerSec       float64 `json:"decisions_per_sec"`
+
+	BaselineAllocsPerDecision     float64 `json:"baseline_allocs_per_decision"`
+	BaselineAllocBytesPerDecision float64 `json:"baseline_alloc_bytes_per_decision"`
+	BaselineGCPerMillionDecisions float64 `json:"baseline_gc_cycles_per_million_decisions"`
+	BaselineDecisionsPerSec       float64 `json:"baseline_decisions_per_sec"`
+}
+
+// AllocBenchResult is the pooled-vs-baseline allocation comparison across
+// the steady-state disciplines.
+type AllocBenchResult struct {
+	Scale Scale
+	Load  float64
+	Rows  []AllocBenchRow
+}
+
+// allocStats is the runtime.ReadMemStats delta around one simulation's
+// event loop.
+type allocStats struct {
+	bytes  uint64
+	allocs uint64
+	gcs    uint32
+}
+
+// runAllocArm builds one fabric run and measures the allocator activity of
+// its event loop alone: construction (table, workload priming, scheduler)
+// happens before the MemStats baseline is taken, so the reported deltas
+// are the steady-state cost the tentpole optimizes, not one-time setup.
+func runAllocArm(scale Scale, scheduler sched.Scheduler, load float64, disablePool bool) (*fabricsim.Result, allocStats, error) {
+	scale = scale.withDefaults()
+	topo, err := scale.Topology()
+	if err != nil {
+		return nil, allocStats{}, err
+	}
+	gen, err := workload.NewMixed(workload.MixedConfig{
+		Topology:          topo,
+		Load:              load,
+		QueryByteFraction: workload.DefaultQueryByteFraction,
+		Duration:          scale.Duration,
+		Seed:              scale.Seed,
+	})
+	if err != nil {
+		return nil, allocStats{}, fmt.Errorf("build workload: %w", err)
+	}
+	sim, err := fabricsim.New(fabricsim.Config{
+		Hosts:           topo.NumHosts(),
+		LinkBps:         topo.HostLinkBps(),
+		Scheduler:       scheduler,
+		Generator:       gen,
+		Duration:        scale.Duration,
+		Seed:            scale.Seed,
+		DisableFlowPool: disablePool,
+	})
+	if err != nil {
+		return nil, allocStats{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := sim.Run()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, allocStats{}, err
+	}
+	return res, allocStats{
+		bytes:  after.TotalAlloc - before.TotalAlloc,
+		allocs: after.Mallocs - before.Mallocs,
+		gcs:    after.NumGC - before.NumGC,
+	}, nil
+}
+
+// equalResults compares every deterministic field of two runs — flow and
+// byte accounting, decision and fault counters, per-class FCT statistics,
+// all three sample series, and throughput totals. Wall-clock quantities
+// (SchedNanos) and the registry snapshot are excluded by design. It is
+// the byte-identical-Results cross-check of the pooled/non-pooled arms:
+// recycling flows must be invisible to the physics.
+func equalResults(a, b *fabricsim.Result) error {
+	if a.ArrivedFlows != b.ArrivedFlows || a.CompletedFlows != b.CompletedFlows {
+		return fmt.Errorf("flow counts %d/%d vs %d/%d",
+			a.ArrivedFlows, a.CompletedFlows, b.ArrivedFlows, b.CompletedFlows)
+	}
+	if a.ArrivedBytes != b.ArrivedBytes || a.DepartedBytes != b.DepartedBytes ||
+		a.LeftoverBytes != b.LeftoverBytes || a.LeftoverFlows != b.LeftoverFlows {
+		return fmt.Errorf("byte accounting %g/%g/%g vs %g/%g/%g",
+			a.ArrivedBytes, a.DepartedBytes, a.LeftoverBytes,
+			b.ArrivedBytes, b.DepartedBytes, b.LeftoverBytes)
+	}
+	if a.Decisions != b.Decisions {
+		return fmt.Errorf("decision counts %d vs %d", a.Decisions, b.Decisions)
+	}
+	if a.Faults != b.Faults {
+		return fmt.Errorf("fault counters %+v vs %+v", a.Faults, b.Faults)
+	}
+	for _, class := range []flow.Class{flow.ClassQuery, flow.ClassBackground, flow.ClassOther} {
+		if a.FCT.Stats(class) != b.FCT.Stats(class) {
+			return fmt.Errorf("FCT stats for class %v: %+v vs %+v",
+				class, a.FCT.Stats(class), b.FCT.Stats(class))
+		}
+	}
+	series := []struct {
+		name string
+		a, b *metrics.Series
+	}{
+		{"queue", &a.QueueSeries, &b.QueueSeries},
+		{"total-backlog", &a.TotalBacklogSeries, &b.TotalBacklogSeries},
+		{"max-port", &a.MaxPortSeries, &b.MaxPortSeries},
+	}
+	for _, s := range series {
+		if s.a.Len() != s.b.Len() {
+			return fmt.Errorf("%s series lengths %d vs %d", s.name, s.a.Len(), s.b.Len())
+		}
+		for i := range s.a.Values {
+			if s.a.Values[i] != s.b.Values[i] || s.a.Times[i] != s.b.Times[i] {
+				return fmt.Errorf("%s series sample %d diverged", s.name, i)
+			}
+		}
+	}
+	if a.Throughput.TotalBytes() != b.Throughput.TotalBytes() {
+		return fmt.Errorf("throughput totals %g vs %g",
+			a.Throughput.TotalBytes(), b.Throughput.TotalBytes())
+	}
+	return nil
+}
+
+// RunAllocBench measures steady-state allocator pressure for the paper's
+// two headline disciplines (SRPT and fast BASRPT, incremental index on):
+// each runs twice on the identical arrival stream — flow pooling on
+// (default) and off (baseline) — reporting bytes and allocations per
+// decision plus GC cycles per million decisions from
+// runtime.ReadMemStats deltas around the event loop. The two arms must
+// produce byte-identical Results (equalResults) or the bench fails: a
+// speed or allocation win that changes the physics is a bug, not a win.
+// load <= 0 selects SchedBenchLoad, matching BENCH_sched.json so the two
+// artifacts describe the same operating point.
+func RunAllocBench(scale Scale, load float64) (*AllocBenchResult, error) {
+	scale = scale.withDefaults()
+	if load <= 0 {
+		load = SchedBenchLoad
+	}
+	if load >= 1 {
+		return nil, fmt.Errorf("alloc bench: load %g outside (0, 1)", load)
+	}
+	disciplines := []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"srpt", func() sched.Scheduler { return sched.NewSRPT() }},
+		{"fast-basrpt", func() sched.Scheduler { return sched.NewFastBASRPT(DefaultV) }},
+	}
+	res := &AllocBenchResult{Scale: scale, Load: load}
+	for _, d := range disciplines {
+		pooled, pst, err := runAllocArm(scale, d.mk(), load, false)
+		if err != nil {
+			return nil, fmt.Errorf("alloc bench %s pooled run: %w", d.name, err)
+		}
+		baseline, bst, err := runAllocArm(scale, d.mk(), load, true)
+		if err != nil {
+			return nil, fmt.Errorf("alloc bench %s baseline run: %w", d.name, err)
+		}
+		if err := equalResults(pooled, baseline); err != nil {
+			return nil, fmt.Errorf("alloc bench %s: pooled and non-pooled runs diverged: %w", d.name, err)
+		}
+		dec := float64(pooled.Decisions)
+		if dec == 0 {
+			return nil, fmt.Errorf("alloc bench %s: run took no decisions", d.name)
+		}
+		res.Rows = append(res.Rows, AllocBenchRow{
+			Discipline:            d.name,
+			Decisions:             pooled.Decisions,
+			AllocsPerDecision:     float64(pst.allocs) / dec,
+			AllocBytesPerDecision: float64(pst.bytes) / dec,
+			GCPerMillionDecisions: float64(pst.gcs) / dec * 1e6,
+			DecisionsPerSec:       pooled.DecisionsPerSec(),
+
+			BaselineAllocsPerDecision:     float64(bst.allocs) / dec,
+			BaselineAllocBytesPerDecision: float64(bst.bytes) / dec,
+			BaselineGCPerMillionDecisions: float64(bst.gcs) / dec * 1e6,
+			BaselineDecisionsPerSec:       baseline.DecisionsPerSec(),
+		})
+	}
+	return res, nil
+}
+
+// CheckBudget verifies every pooled arm against the checked-in ceiling;
+// the returned error lists each violation (CI fails the build on it). A
+// zero or negative ceiling disables that check — the budget file must
+// state a positive bound for the gate to bite, which the repository's
+// bench_alloc_budget.json does.
+func (r *AllocBenchResult) CheckBudget(b AllocBudget) error {
+	var violations []string
+	for _, row := range r.Rows {
+		if b.MaxAllocsPerDecision > 0 && row.AllocsPerDecision > b.MaxAllocsPerDecision {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.4f allocs/decision exceeds budget %.4f",
+				row.Discipline, row.AllocsPerDecision, b.MaxAllocsPerDecision))
+		}
+		if b.MaxAllocBytesPerDecision > 0 && row.AllocBytesPerDecision > b.MaxAllocBytesPerDecision {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.1f bytes/decision exceeds budget %.1f",
+				row.Discipline, row.AllocBytesPerDecision, b.MaxAllocBytesPerDecision))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("alloc budget exceeded:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+// Render prints the per-discipline allocation comparison.
+func (r *AllocBenchResult) Render() string {
+	tbl := trace.Table{
+		Title: fmt.Sprintf("Steady-state allocation — pooled vs baseline at %.0f%% load, %s",
+			r.Load*100, r.Scale),
+		Headers: []string{"discipline", "decisions", "allocs/dec", "bytes/dec", "gc/Mdec",
+			"dec/s", "baseline allocs/dec", "baseline bytes/dec", "baseline dec/s"},
+	}
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Discipline,
+			fmt.Sprintf("%d", row.Decisions),
+			fmt.Sprintf("%.4f", row.AllocsPerDecision),
+			fmt.Sprintf("%.1f", row.AllocBytesPerDecision),
+			fmt.Sprintf("%.1f", row.GCPerMillionDecisions),
+			fmt.Sprintf("%.0f", row.DecisionsPerSec),
+			fmt.Sprintf("%.2f", row.BaselineAllocsPerDecision),
+			fmt.Sprintf("%.1f", row.BaselineAllocBytesPerDecision),
+			fmt.Sprintf("%.0f", row.BaselineDecisionsPerSec))
+	}
+	var b strings.Builder
+	b.WriteString(tbl.Render())
+	b.WriteString("\nboth arms replay byte-identical runs; deltas measure the event loop only (setup excluded)\n")
+	return b.String()
+}

@@ -13,26 +13,40 @@ package eventq
 type Event interface{}
 
 // Handle identifies a scheduled event so it can be cancelled. A Handle is
-// valid until the event pops or is cancelled.
+// valid until the event pops or is cancelled. Entries are recycled after
+// they leave the heap, so each handle carries the generation of the entry
+// it was issued against; a handle to a popped event stays invalid even
+// after its entry is reused for a later Schedule.
 type Handle struct {
 	entry *entry
+	gen   uint64
 }
 
 // Valid reports whether the handle still refers to a pending event.
-func (h Handle) Valid() bool { return h.entry != nil && h.entry.index >= 0 }
+func (h Handle) Valid() bool {
+	return h.entry != nil && h.entry.gen == h.gen && h.entry.index >= 0
+}
 
 type entry struct {
 	time  float64
 	seq   uint64
 	event Event
-	index int // position in heap, -1 once removed
+	index int    // position in heap, -1 once removed
+	gen   uint64 // bumped when the entry is recycled; invalidates old Handles
 }
 
 // Queue is a time-ordered event calendar. The zero value is ready to use.
 // It is not safe for concurrent use; the simulator is single-threaded by
 // design (parallelism comes from running independent simulations).
+//
+// Entries removed from the heap (popped or cancelled) go to an internal
+// free list and are reused by later Schedules, so in steady state —
+// arrivals balancing departures — the calendar performs no allocations.
+// Reserve pre-sizes both the heap and the free list for a known event
+// population.
 type Queue struct {
 	heap      []*entry
+	free      []*entry
 	seq       uint64
 	highWater int
 }
@@ -45,27 +59,53 @@ func (q *Queue) Len() int { return len(q.heap) }
 // observability layer.
 func (q *Queue) HighWater() int { return q.highWater }
 
+// Reserve grows the calendar's storage so at least n events can be
+// pending at once without the heap reallocating or Schedule touching the
+// allocator. It never shrinks and pending events are unaffected.
+func (q *Queue) Reserve(n int) {
+	if cap(q.heap) < n {
+		heap := make([]*entry, len(q.heap), n)
+		copy(heap, q.heap)
+		q.heap = heap
+	}
+	for len(q.heap)+len(q.free) < n {
+		q.free = append(q.free, &entry{index: -1})
+	}
+}
+
 // Schedule adds an event at the given time and returns a handle for
 // cancellation. Times may be in any order; equal times pop FIFO.
 func (q *Queue) Schedule(time float64, ev Event) Handle {
 	q.seq++
-	e := &entry{time: time, seq: q.seq, event: ev, index: len(q.heap)}
+	var e *entry
+	if k := len(q.free); k > 0 {
+		e = q.free[k-1]
+		q.free[k-1] = nil
+		q.free = q.free[:k-1]
+	} else {
+		e = &entry{}
+	}
+	e.time = time
+	e.seq = q.seq
+	e.event = ev
+	e.index = len(q.heap)
 	q.heap = append(q.heap, e)
 	if len(q.heap) > q.highWater {
 		q.highWater = len(q.heap)
 	}
 	q.up(e.index)
-	return Handle{entry: e}
+	return Handle{entry: e, gen: e.gen}
 }
 
 // Cancel removes a pending event. It reports whether the event was still
-// pending (false if it already popped or was cancelled).
+// pending (false if it already popped or was cancelled — including when
+// the entry has since been recycled for an unrelated event, which the
+// handle's generation detects).
 func (q *Queue) Cancel(h Handle) bool {
-	e := h.entry
-	if e == nil || e.index < 0 {
+	if !h.Valid() {
 		return false
 	}
-	q.removeAt(e.index)
+	q.removeAt(h.entry.index)
 	return true
 }
 
@@ -85,16 +125,29 @@ func (q *Queue) Pop() (Event, float64, bool) {
 		return nil, 0, false
 	}
 	e := q.heap[0]
+	// Capture before removeAt recycles the entry and drops its event.
+	ev, t := e.event, e.time
 	q.removeAt(0)
-	return e.event, e.time, true
+	return ev, t, true
 }
 
-// Clear drops all pending events.
+// Clear drops all pending events and recycles their entries.
 func (q *Queue) Clear() {
 	for _, e := range q.heap {
-		e.index = -1
+		q.recycle(e)
 	}
 	q.heap = q.heap[:0]
+}
+
+// recycle retires an entry that just left the heap: invalidate any
+// outstanding handles via the generation bump, drop the event reference
+// so the calendar does not pin it for the GC, and return the entry to the
+// free list.
+func (q *Queue) recycle(e *entry) {
+	e.index = -1
+	e.gen++
+	e.event = nil
+	q.free = append(q.free, e)
 }
 
 func (q *Queue) less(i, j int) bool {
@@ -148,7 +201,7 @@ func (q *Queue) removeAt(i int) {
 		q.swap(i, last)
 	}
 	q.heap = q.heap[:last]
-	e.index = -1
+	q.recycle(e)
 	if i < last {
 		// The element moved into position i may need to travel either way.
 		q.down(i)

@@ -23,6 +23,7 @@ package fabricsim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -74,6 +75,16 @@ type Config struct {
 	// diagnoses so failed sweep points are replayable. It does not drive
 	// any randomness here (the generator and schedulers own their seeds).
 	Seed uint64
+	// DisableFlowPool turns off the recycling of completed Flow structs
+	// through the simulator's free list, so every arrival allocates as it
+	// did before pooling existed. Recycling is invisible to the physics —
+	// pooled and non-pooled runs produce byte-identical Results at a fixed
+	// seed (property-tested, and cross-checked by RunAllocBench) — so the
+	// knob exists only for that A/B comparison. Pooling also switches off
+	// automatically when Faults is set: the outage fallback's held matching
+	// retains flow pointers across completions, which recycling would
+	// invalidate.
+	DisableFlowPool bool
 	// Faults, when non-nil, injects the schedule's link faults (access
 	// links down or degraded for an interval, forcing reschedules at the
 	// boundaries) and scheduler outages (decisions served from the held
@@ -262,6 +273,16 @@ type Sim struct {
 	res             *Result
 	drainAccumStart float64
 
+	// Steady-state allocation avoidance: completed flows recycle through
+	// pool into the next arrivals (poolOn — see Config.DisableFlowPool),
+	// decisions are re-checked by a scratch-owning validator, and
+	// deepValidate keeps its per-port accumulators across calls.
+	pool      flow.FreeList
+	poolOn    bool
+	validator sched.Validator
+	dvIngress []float64
+	dvEgress  []float64
+
 	// Instrumentation. reg is cfg.Obs's registry when tracing is on and a
 	// private registry otherwise, so the decision counters below are
 	// always live — Result.Decisions/SchedNanos are copied out of them at
@@ -337,6 +358,7 @@ func New(cfg Config) (*Sim, error) {
 	// contract): an index-maintaining scheduler consumes the feed itself;
 	// for everything else the sim is the consumer of record.
 	s.clearsDirty = !sched.IsDirtyConsumer(s.scheduler)
+	s.poolOn = !cfg.DisableFlowPool && cfg.Faults == nil
 	s.reg = cfg.Obs.Registry()
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
@@ -487,6 +509,10 @@ func (s *Sim) finish() *Result {
 	if g, ok := s.cfg.Generator.(interface{ QueueHighWater() int }); ok {
 		s.reg.Gauge("eventq.high_water").Set(float64(g.QueueHighWater()))
 	}
+	if s.poolOn {
+		s.reg.Counter("flow.pool_reuses").Add(s.pool.Reuses())
+		s.reg.Gauge("flow.pool_size").Set(float64(s.pool.Len()))
+	}
 	s.res.Obs = s.reg.Snapshot()
 	return s.res
 }
@@ -532,7 +558,12 @@ func (s *Sim) admit(a workload.Arrival) error {
 	if a.Src < 0 || a.Src >= s.cfg.Hosts || a.Dst < 0 || a.Dst >= s.cfg.Hosts || a.Src == a.Dst || a.Size <= 0 {
 		return s.errorf("generator produced invalid arrival %+v", a)
 	}
-	f := flow.NewFlow(s.nextID, a.Src, a.Dst, a.Class, a.Size, a.Time)
+	var f *flow.Flow
+	if s.poolOn {
+		f = s.pool.Get(s.nextID, a.Src, a.Dst, a.Class, a.Size, a.Time)
+	} else {
+		f = flow.NewFlow(s.nextID, a.Src, a.Dst, a.Class, a.Size, a.Time)
+	}
 	s.nextID++
 	s.table.Add(f)
 	s.res.ArrivedFlows++
@@ -632,6 +663,13 @@ func (s *Sim) collectCompletions() bool {
 			s.res.CompletedFlows++
 			s.res.FCT.Add(f.Class, s.now-f.Arrival)
 			s.cfg.Obs.Emit(s.now, "flow.done", f.Src, s.now-f.Arrival, f.Class.String())
+			if s.poolOn {
+				// The flow is detached and dropped from the compacted
+				// decision; the scheduler's candidate index may still hold
+				// its pointer but never dereferences entries of a dirtied
+				// VOQ (Remove just dirtied this one), so recycling is safe.
+				s.pool.Put(f)
+			}
 			completed = true
 		} else {
 			kept = append(kept, f)
@@ -667,7 +705,7 @@ func (s *Sim) reschedule() error {
 	}
 	s.nextCompletion = s.now + minTime
 	if s.cfg.ValidateDecisions {
-		if err := sched.ValidateDecision(s.cfg.Hosts, s.decision); err != nil {
+		if err := s.validator.ValidateDecision(s.cfg.Hosts, s.decision); err != nil {
 			return s.errorf("%w", err)
 		}
 	}
@@ -685,37 +723,48 @@ func (s *Sim) reschedule() error {
 // against a from-scratch view of the table.
 func (s *Sim) deepValidate() error {
 	n := s.cfg.Hosts
-	ingress := make([]float64, n)
-	egress := make([]float64, n)
+	if cap(s.dvIngress) < n {
+		s.dvIngress = make([]float64, n)
+		s.dvEgress = make([]float64, n)
+	}
+	ingress := s.dvIngress[:n]
+	egress := s.dvEgress[:n]
+	for i := range ingress {
+		ingress[i] = 0
+		egress[i] = 0
+	}
 	var total float64
 	flows := 0
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			q := s.table.VOQ(i, j)
 			var qSum float64
-			for _, f := range q.Flows() {
-				if !f.Attached() {
-					return fmt.Errorf("deep validate: VOQ (%d,%d) holds detached flow %d (remaining %g)",
-						i, j, f.ID, f.Remaining)
+			var err error
+			top := q.Top()
+			q.ForEachFlow(func(f *flow.Flow) {
+				if err != nil {
+					return
 				}
-				if f.Src != i || f.Dst != j {
-					return fmt.Errorf("deep validate: VOQ (%d,%d) holds misfiled flow %d addressed %d->%d",
+				switch {
+				case !f.Attached():
+					err = fmt.Errorf("deep validate: VOQ (%d,%d) holds detached flow %d (remaining %g)",
+						i, j, f.ID, f.Remaining)
+				case f.Src != i || f.Dst != j:
+					err = fmt.Errorf("deep validate: VOQ (%d,%d) holds misfiled flow %d addressed %d->%d",
 						i, j, f.ID, f.Src, f.Dst)
-				}
-				if f.Remaining < 0 {
-					return fmt.Errorf("deep validate: VOQ (%d,%d) flow %d has negative remaining %g",
+				case f.Remaining < 0:
+					err = fmt.Errorf("deep validate: VOQ (%d,%d) flow %d has negative remaining %g",
 						i, j, f.ID, f.Remaining)
+				case f.Remaining < top.Remaining:
+					err = fmt.Errorf("deep validate: VOQ (%d,%d) top is flow %d (remaining %g) but flow %d has %g",
+						i, j, top.ID, top.Remaining, f.ID, f.Remaining)
+				default:
+					qSum += f.Remaining
+					flows++
 				}
-				qSum += f.Remaining
-				flows++
-			}
-			if top := q.Top(); top != nil {
-				for _, f := range q.Flows() {
-					if f.Remaining < top.Remaining {
-						return fmt.Errorf("deep validate: VOQ (%d,%d) top is flow %d (remaining %g) but flow %d has %g",
-							i, j, top.ID, top.Remaining, f.ID, f.Remaining)
-					}
-				}
+			})
+			if err != nil {
+				return err
 			}
 			if !closeEnough(qSum, q.Backlog()) {
 				return fmt.Errorf("deep validate: VOQ (%d,%d) backlog %g, recomputed %g", i, j, q.Backlog(), qSum)
@@ -758,6 +807,12 @@ func closeEnough(a, b float64) bool {
 }
 
 // sample records the queue-length series and the matching trace events.
+// When the run is instrumented it also snapshots the Go runtime's GC
+// state into gauges, so a trace can correlate backlog spikes with
+// collection activity. The GC numbers are machine-dependent, which is why
+// they live only in registry gauges (never in trace events, whose byte-
+// determinism the trace contract guarantees) and only when the caller
+// opted into observability.
 func (s *Sim) sample() {
 	queue := s.table.IngressBacklog(s.cfg.MonitorPort)
 	total := s.table.TotalBacklog()
@@ -768,4 +823,13 @@ func (s *Sim) sample() {
 	s.cfg.Obs.Emit(s.now, "sample.queue", s.cfg.MonitorPort, queue, "")
 	s.cfg.Obs.Emit(s.now, "sample.total", -1, total, "")
 	s.cfg.Obs.Emit(s.now, "sample.maxport", maxPort, maxB, "")
+	if s.cfg.Obs != nil {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.reg.Gauge("runtime.gc_num").Set(float64(ms.NumGC))
+		s.reg.Gauge("runtime.gc_pause_total_ns").Set(float64(ms.PauseTotalNs))
+		// The gauge keeps its Max, so the snapshot reports the heap-live
+		// high-water mark across the run's sample ticks.
+		s.reg.Gauge("runtime.heap_live_bytes").Set(float64(ms.HeapAlloc))
+	}
 }

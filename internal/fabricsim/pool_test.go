@@ -1,0 +1,68 @@
+package fabricsim
+
+import (
+	"testing"
+
+	"basrpt/internal/faults"
+	"basrpt/internal/sched"
+	"basrpt/internal/topology"
+)
+
+// TestFlowPoolEquivalence: recycling completed flows through the free list
+// must not change any observable output — the pooled arm and the
+// DisableFlowPool arm of the same fixed-seed run produce identical
+// decisions, completions, byte accounting, and sample series, under
+// continuous decision validation and periodic deep table validation.
+func TestFlowPoolEquivalence(t *testing.T) {
+	topo := topology.MustNew(topology.Scaled(2, 3))
+	run := func(disable bool) *Result {
+		cfg := Config{
+			Hosts: topo.NumHosts(), LinkBps: topo.HostLinkBps(),
+			Scheduler: sched.NewFastBASRPT(2500),
+			Generator: mixedGen(t, topo, 0.85, 1.8, 11),
+			Duration:  2, ValidateDecisions: true, DeepValidateEvery: 7,
+			Seed:            11,
+			DisableFlowPool: disable,
+		}
+		return mustRun(t, cfg)
+	}
+	pooled, baseline := run(false), run(true)
+	sameResults(t, pooled, baseline)
+}
+
+// TestFlowPoolAutoDisabledUnderFaults: an OutageFallback retains decision
+// pointers across completions, so configuring a fault injector must switch
+// flow recycling off regardless of DisableFlowPool.
+func TestFlowPoolAutoDisabledUnderFaults(t *testing.T) {
+	topo := topology.MustNew(topology.Scaled(2, 2))
+	schedule, err := faults.Generate(faults.Params{
+		Seed: 21, Horizon: 2, Ports: topo.NumHosts(), LinkFaults: 1, Outages: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Hosts: topo.NumHosts(), LinkBps: topo.HostLinkBps(),
+		Scheduler: sched.NewFastBASRPT(2500),
+		Generator: mixedGen(t, topo, 0.7, 1, 5),
+		Duration:  1, Seed: 5,
+		Faults: faults.NewInjector(schedule),
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.poolOn {
+		t.Fatal("flow pool stayed on despite a configured fault injector")
+	}
+
+	cfg.Faults = nil
+	cfg.Generator = mixedGen(t, topo, 0.7, 1, 5)
+	sim, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.poolOn {
+		t.Fatal("flow pool off by default without faults")
+	}
+}

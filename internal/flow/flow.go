@@ -129,6 +129,15 @@ func (q *VOQ) Flows() []*Flow {
 	return out
 }
 
+// ForEachFlow calls fn for every queued flow in heap order (only the
+// first element has a guaranteed position) without copying the queue.
+// fn must not mutate the VOQ.
+func (q *VOQ) ForEachFlow(fn func(f *Flow)) {
+	for _, f := range q.flows {
+		fn(f)
+	}
+}
+
 func (q *VOQ) less(i, j int) bool {
 	a, b := q.flows[i], q.flows[j]
 	if a.Remaining != b.Remaining {

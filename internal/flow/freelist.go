@@ -1,0 +1,66 @@
+package flow
+
+// FreeList recycles completed Flow structs so the steady-state event loop
+// stops paying one heap allocation (and, later, one GC scan) per arrival.
+// It is a plain LIFO slice rather than a sync.Pool: a sync.Pool drains
+// nondeterministically under GC pressure, which would make allocation
+// behavior — and therefore alloc benchmarks — vary run to run, while a
+// slice is deterministic and single-goroutine like everything else in a
+// simulation. Recycling changes nothing observable: Get fully
+// reinitializes every field, and the pooled and non-pooled paths produce
+// byte-identical simulation Results at a fixed seed (property-tested).
+//
+// Lifecycle contract: a flow may be Put only after it is detached from
+// its VOQ (Table.Remove or Table's drain-to-zero path); Put panics on an
+// attached flow because recycling a live flow would corrupt the table.
+// Callers must drop every pointer to a flow before Put — in the
+// simulator, the decision buffer is compacted before flows are recycled,
+// and the scheduler's candidate index never dereferences entries whose
+// VOQ changed since its last sync (see sched's scored.voq). The index's
+// held pointers are why the fabric keeps the free list off when an
+// OutageFallback may retain decisions across completions.
+type FreeList struct {
+	free   []*Flow
+	reuses int64
+}
+
+// Get returns a fully initialized flow, recycling a previously Put struct
+// when one is available and allocating otherwise. Remaining starts at
+// size, exactly like NewFlow.
+func (l *FreeList) Get(id ID, src, dst int, class Class, size, arrival float64) *Flow {
+	n := len(l.free)
+	if n == 0 {
+		return NewFlow(id, src, dst, class, size, arrival)
+	}
+	f := l.free[n-1]
+	l.free[n-1] = nil
+	l.free = l.free[:n-1]
+	l.reuses++
+	*f = Flow{
+		ID:        id,
+		Src:       src,
+		Dst:       dst,
+		Class:     class,
+		Size:      size,
+		Remaining: size,
+		Arrival:   arrival,
+		heapIndex: -1,
+	}
+	return f
+}
+
+// Put returns a detached flow to the free list. It panics if the flow is
+// still attached to a VOQ.
+func (l *FreeList) Put(f *Flow) {
+	if f.Attached() {
+		panic("flow: FreeList.Put of a flow still attached to a VOQ")
+	}
+	l.free = append(l.free, f)
+}
+
+// Len returns the number of flows currently held for reuse.
+func (l *FreeList) Len() int { return len(l.free) }
+
+// Reuses returns how many Gets were satisfied by recycling instead of
+// allocating — the free list's hit count, reported as an obs counter.
+func (l *FreeList) Reuses() int64 { return l.reuses }

@@ -1,0 +1,65 @@
+package flow
+
+import "testing"
+
+// TestFreeListRecyclesAndResets: Get after Put returns the same struct with
+// every field — including the internal heap index — reinitialized exactly
+// as NewFlow would.
+func TestFreeListRecyclesAndResets(t *testing.T) {
+	var l FreeList
+	f := l.Get(1, 0, 1, ClassQuery, 100, 0.5)
+	if l.Reuses() != 0 {
+		t.Fatalf("Reuses = %d before any recycling, want 0", l.Reuses())
+	}
+
+	// Dirty the flow through a table round trip so a sloppy reset would show.
+	tab := NewTable(2)
+	tab.Add(f)
+	tab.Drain(f, 60)
+	tab.Remove(f)
+	l.Put(f)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after Put, want 1", l.Len())
+	}
+
+	g := l.Get(2, 1, 0, ClassBackground, 200, 1.5)
+	if g != f {
+		t.Fatal("Get did not recycle the Put flow")
+	}
+	if l.Len() != 0 || l.Reuses() != 1 {
+		t.Fatalf("Len = %d, Reuses = %d after recycling Get, want 0, 1", l.Len(), l.Reuses())
+	}
+	want := Flow{ID: 2, Src: 1, Dst: 0, Class: ClassBackground, Size: 200, Remaining: 200, Arrival: 1.5, heapIndex: -1}
+	if *g != want {
+		t.Fatalf("recycled flow = %+v, want %+v", *g, want)
+	}
+	if g.Attached() {
+		t.Fatal("recycled flow reports attached")
+	}
+}
+
+// TestFreeListGetFallsBackToAlloc: an empty free list behaves exactly like
+// NewFlow.
+func TestFreeListGetFallsBackToAlloc(t *testing.T) {
+	var l FreeList
+	f := l.Get(7, 2, 3, ClassOther, 50, 2)
+	want := Flow{ID: 7, Src: 2, Dst: 3, Class: ClassOther, Size: 50, Remaining: 50, Arrival: 2, heapIndex: -1}
+	if *f != want {
+		t.Fatalf("fresh flow = %+v, want %+v", *f, want)
+	}
+}
+
+// TestFreeListPutAttachedPanics: recycling a flow that still sits in a VOQ
+// would corrupt the table, so Put must refuse it loudly.
+func TestFreeListPutAttachedPanics(t *testing.T) {
+	var l FreeList
+	f := l.Get(1, 0, 1, ClassOther, 100, 0)
+	tab := NewTable(2)
+	tab.Add(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of an attached flow did not panic")
+		}
+	}()
+	l.Put(f)
+}

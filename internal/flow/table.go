@@ -45,9 +45,18 @@ func NewTable(n int) *Table {
 		ingressFlows:   make([]int, n),
 		egressFlows:    make([]int, n),
 	}
+	// Seed every VOQ heap slice with a small capacity carved from one
+	// contiguous arena so a cold VOQ's first pushes never allocate (the
+	// dominant residual allocation site in steady state otherwise). The
+	// three-index slice caps each chunk, so a VOQ that outgrows its seed
+	// reallocates privately instead of clobbering its neighbor — and the
+	// grown capacity is retained thereafter because remove only reslices.
+	const voqSeedCap = 2
+	arena := make([]*Flow, n*n*voqSeedCap)
 	for i := range t.voqs {
 		t.voqs[i].Src = i / n
 		t.voqs[i].Dst = i % n
+		t.voqs[i].flows = arena[i*voqSeedCap : i*voqSeedCap : (i+1)*voqSeedCap]
 		t.nonEmptyPos[i] = -1
 		t.dirtyPos[i] = -1
 	}

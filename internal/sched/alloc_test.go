@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"testing"
+
+	"basrpt/internal/flow"
+	"basrpt/internal/stats"
+)
+
+// pooledDriver is benchDriver with flow recycling, so the driver's own
+// arrivals and completions are allocation-free in steady state. That makes
+// testing.AllocsPerRun attribute every observed allocation to the scheduler
+// under test rather than to the harness.
+type pooledDriver struct {
+	r    *stats.RNG
+	tab  *flow.Table
+	pool flow.FreeList
+	next flow.ID
+}
+
+func newPooledDriver(n, population int) *pooledDriver {
+	d := &pooledDriver{r: stats.NewRNG(1719), tab: flow.NewTable(n), next: 1}
+	for i := 0; i < population; i++ {
+		d.arrive()
+	}
+	return d
+}
+
+func (d *pooledDriver) arrive() {
+	n := d.tab.N()
+	size := 1 + float64(d.r.Intn(1_000_000)) + float64(d.next)*1e-3
+	f := d.pool.Get(d.next, d.r.Intn(n), d.r.Intn(n), flow.ClassOther, size, float64(d.next))
+	d.next++
+	d.tab.Add(f)
+}
+
+// step serves the previous decision and replaces each completed flow with
+// a fresh arrival drawn from the free list. Unlike benchDriver.step it
+// holds the population exactly constant: every Get is preceded by a Put,
+// so the free list never misses and the driver contributes zero
+// allocations of its own.
+func (d *pooledDriver) step(served []*flow.Flow) {
+	for _, f := range served {
+		if d.r.Float64() < 0.05 {
+			d.tab.Drain(f, f.Remaining)
+			d.tab.Remove(f)
+			d.pool.Put(f)
+			d.arrive() // keep the population (and load) steady
+		} else {
+			d.tab.Drain(f, 1+d.r.Float64()*f.Remaining*0.1)
+		}
+	}
+}
+
+// testScheduleZeroAlloc drives a scheduler to steady state (index built,
+// every scratch buffer at its high-water capacity, free list populated) and
+// then requires the serve-admit-schedule loop to allocate nothing at all.
+// This is the regression gate behind the tentpole: any reintroduced
+// per-decision allocation — a fresh decision slice, a map in the index
+// check path, a boxed event — fails the test immediately.
+func testScheduleZeroAlloc(t *testing.T, s Scheduler) {
+	t.Helper()
+	d := newPooledDriver(32, 600)
+	var served []*flow.Flow
+	for i := 0; i < 200; i++ {
+		d.step(served)
+		served = s.Schedule(d.tab)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		d.step(served)
+		served = s.Schedule(d.tab)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule loop allocates %.2f times per decision, want 0", avg)
+	}
+}
+
+func TestScheduleZeroAllocSRPT(t *testing.T) {
+	testScheduleZeroAlloc(t, NewSRPT())
+}
+
+func TestScheduleZeroAllocFastBASRPT(t *testing.T) {
+	testScheduleZeroAlloc(t, NewFastBASRPT(2500))
+}
+
+// The Validator must reuse its port marks across calls: after warmup,
+// validating a fresh decision allocates nothing.
+func TestValidatorZeroAlloc(t *testing.T) {
+	d := newPooledDriver(32, 600)
+	s := NewFastBASRPT(2500)
+	var served []*flow.Flow
+	var v Validator
+	for i := 0; i < 50; i++ {
+		d.step(served)
+		served = s.Schedule(d.tab)
+		if err := v.ValidateDecision(d.tab.N(), served); err != nil {
+			t.Fatalf("warmup decision invalid: %v", err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := v.ValidateDecision(d.tab.N(), served); err != nil {
+			t.Fatalf("decision invalid: %v", err)
+		}
+		if !v.IsMaximalDecision(d.tab, served) {
+			t.Fatal("greedy decision not maximal")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state validation allocates %.2f times per call, want 0", avg)
+	}
+}

@@ -68,12 +68,12 @@ func (s *FIFOMatch) Schedule(t *flow.Table) []*flow.Flow {
 	s.g.cands = s.g.cands[:0]
 	t.ForEachNonEmpty(func(q *flow.VOQ) {
 		var oldest *flow.Flow
-		for _, f := range q.Flows() {
+		q.ForEachFlow(func(f *flow.Flow) {
 			if oldest == nil || f.Arrival < oldest.Arrival ||
 				(f.Arrival == oldest.Arrival && f.ID < oldest.ID) {
 				oldest = f
 			}
-		}
+		})
 		s.g.cands = append(s.g.cands, scored{key: oldest.Arrival, f: oldest})
 	})
 	if len(s.g.cands) == 0 {

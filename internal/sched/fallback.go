@@ -17,6 +17,7 @@ type OutageFallback struct {
 	inner       Scheduler
 	outage      bool
 	last        []*flow.Flow // private copy of the last live decision
+	out         []*flow.Flow // reusable return buffer for held decisions
 	held        int64
 	activations int64
 }
@@ -56,8 +57,14 @@ func (s *OutageFallback) Activations() int64 { return s.activations }
 func (s *OutageFallback) Name() string { return s.inner.Name() + "+hold" }
 
 // Schedule delegates to the wrapped scheduler, or serves the pruned held
-// matching during an outage. Either way the result is freshly allocated,
-// per the Scheduler contract.
+// matching during an outage. Either way the result follows the Scheduler
+// ownership contract: it lives in scratch this wrapper or the wrapped
+// scheduler owns and is valid only until the next Schedule call.
+//
+// The held matching retains flow pointers across completions, which is
+// why the fabric disables flow recycling whenever fault injection (and
+// therefore this wrapper) is configured: a recycled pointer could pass
+// the liveness prune below while describing an unrelated flow.
 func (s *OutageFallback) Schedule(t *flow.Table) []*flow.Flow {
 	if s.outage {
 		s.held++
@@ -71,9 +78,11 @@ func (s *OutageFallback) Schedule(t *flow.Table) []*flow.Flow {
 			}
 		}
 		s.last = kept
-		out := make([]*flow.Flow, len(kept))
-		copy(out, kept)
-		return out
+		// Return a separate reusable buffer, not s.last itself: callers may
+		// compact the returned slice in place as flows complete, which must
+		// not corrupt the held matching.
+		s.out = append(s.out[:0], kept...)
+		return s.out
 	}
 	d := s.inner.Schedule(t)
 	s.last = append(s.last[:0], d...)

@@ -45,12 +45,16 @@ type candidateIndex struct {
 	changes []scored // repair scratch: the re-scored dirty candidates
 	merged  []scored // repair double buffer, swapped with view
 
+	// Check bookkeeping (deep-validation cross-check only): the same
+	// generation-stamp idiom as stale, deduplicating view entries by VOQ
+	// without building a per-call map.
+	checkSeen []uint64
+	checkCand []scored
+	checkGen  uint64
+
 	repairs  int64 // sync calls satisfied by a delta repair
 	rebuilds int64 // sync calls that needed a full rebuild
 }
-
-// voqIdx locates the VOQ an entry's flow belongs to.
-func (ix *candidateIndex) voqIdx(f *flow.Flow) int { return f.Src*ix.n + f.Dst }
 
 // current reports whether the index still describes t exactly: same
 // table, same basis (no foreign consumer), and the geometry matches.
@@ -95,7 +99,11 @@ func (ix *candidateIndex) rebuild(t *flow.Table, key Key) {
 	view := ix.view[:0]
 	t.ForEachNonEmpty(func(q *flow.VOQ) {
 		f := q.Top()
-		view = append(view, scored{key: key(Candidate{Flow: f, QueueLen: q.Backlog()}), f: f})
+		view = append(view, scored{
+			key: key(Candidate{Flow: f, QueueLen: q.Backlog()}),
+			f:   f,
+			voq: q.Src*n + q.Dst,
+		})
 	})
 	slices.SortFunc(view, cmpScored)
 	ix.view = view
@@ -106,22 +114,34 @@ func (ix *candidateIndex) rebuild(t *flow.Table, key Key) {
 // merge them with the surviving entries in one pass. Both inputs are
 // cmpScored-sorted and disjoint (a surviving entry's VOQ is not dirty),
 // so the output is the exact sorted order a full rebuild would produce.
+//
+// The staleness test reads e.voq, never e.f: a stale entry's flow may
+// have completed and been recycled through the flow free list since the
+// last sync, in which case the pointer now describes an unrelated flow in
+// a different VOQ. Surviving (non-stale) entries sit in VOQs untouched
+// since the last sync, so their flows are necessarily still live and safe
+// for cmpScored to dereference.
 func (ix *candidateIndex) repair(t *flow.Table, key Key) {
 	ix.gen++
 	gen := ix.gen
 	changes := ix.changes[:0]
 	t.ForEachDirty(func(q *flow.VOQ) {
-		ix.stale[q.Src*ix.n+q.Dst] = gen
+		voq := q.Src*ix.n + q.Dst
+		ix.stale[voq] = gen
 		if q.Len() > 0 {
 			f := q.Top()
-			changes = append(changes, scored{key: key(Candidate{Flow: f, QueueLen: q.Backlog()}), f: f})
+			changes = append(changes, scored{
+				key: key(Candidate{Flow: f, QueueLen: q.Backlog()}),
+				f:   f,
+				voq: voq,
+			})
 		}
 	})
 	slices.SortFunc(changes, cmpScored)
 	merged := ix.merged[:0]
 	j := 0
 	for _, e := range ix.view {
-		if ix.stale[ix.voqIdx(e.f)] == gen {
+		if ix.stale[e.voq] == gen {
 			continue // superseded (or emptied) by this repair
 		}
 		for j < len(changes) && cmpScored(changes[j], e) < 0 {
@@ -137,29 +157,20 @@ func (ix *candidateIndex) repair(t *flow.Table, key Key) {
 }
 
 // pick runs the greedy crossbar loop straight over the maintained sorted
-// view — no regather, no comparisons. ingress and egress are the caller's
-// scratch busy arrays, zeroed here. The scan serves entries in the
-// cmpScored total order, so the decision is bit-identical to the
+// view — no regather, no comparisons. marks is the caller's epoch-stamped
+// busy scratch, already reset for this decision; selected is the caller's
+// decision scratch, appended to and returned. The scan serves entries in
+// the cmpScored total order, so the decision is bit-identical to the
 // from-scratch path; it stops early once the matching saturates the
 // scarcer side of the crossbar.
-func (ix *candidateIndex) pick(ingress, egress []bool) []*flow.Flow {
-	for i := range ingress {
-		ingress[i] = false
-		egress[i] = false
-	}
-	limit := ix.n
-	if len(ix.view) < limit {
-		limit = len(ix.view)
-	}
-	selected := make([]*flow.Flow, 0, limit)
+func (ix *candidateIndex) pick(marks *portMarks, selected []*flow.Flow) []*flow.Flow {
 	free := ix.n // ports still free on the scarcer side
 	for _, c := range ix.view {
 		f := c.f
-		if ingress[f.Src] || egress[f.Dst] {
+		if marks.taken(f) {
 			continue
 		}
-		ingress[f.Src] = true
-		egress[f.Dst] = true
+		marks.take(f)
 		selected = append(selected, f)
 		if free--; free == 0 {
 			break
@@ -179,23 +190,32 @@ func (ix *candidateIndex) check(t *flow.Table, key Key) error {
 	if got, want := len(ix.view), t.NumNonEmpty(); got != want {
 		return fmt.Errorf("sched: index holds %d candidates, table has %d non-empty VOQs", got, want)
 	}
-	byVOQ := make(map[int]scored, len(ix.view))
+	// Dedup by VOQ with persistent generation-stamped slices instead of a
+	// per-call map, so the cross-check costs no allocations even when it
+	// runs on every decision (DeepValidateEvery: 1).
+	if len(ix.checkSeen) != ix.n*ix.n {
+		ix.checkSeen = make([]uint64, ix.n*ix.n)
+		ix.checkCand = make([]scored, ix.n*ix.n)
+	}
+	ix.checkGen++
 	for i, c := range ix.view {
 		if i > 0 && cmpScored(ix.view[i-1], c) >= 0 {
 			return fmt.Errorf("sched: index sorted order violated at entry %d", i)
 		}
-		byVOQ[ix.voqIdx(c.f)] = c
+		ix.checkSeen[c.voq] = ix.checkGen
+		ix.checkCand[c.voq] = c
 	}
 	var err error
 	t.ForEachNonEmpty(func(q *flow.VOQ) {
 		if err != nil {
 			return
 		}
-		c, ok := byVOQ[q.Src*ix.n+q.Dst]
-		if !ok {
+		voq := q.Src*ix.n + q.Dst
+		if ix.checkSeen[voq] != ix.checkGen {
 			err = fmt.Errorf("sched: non-empty VOQ (%d,%d) has no index entry", q.Src, q.Dst)
 			return
 		}
+		c := ix.checkCand[voq]
 		if c.f != q.Top() {
 			err = fmt.Errorf("sched: index candidate for VOQ (%d,%d) is flow %d, from-scratch picks %d",
 				q.Src, q.Dst, c.f.ID, q.Top().ID)

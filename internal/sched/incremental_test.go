@@ -161,11 +161,13 @@ func TestIncrementalRebuildOnTableSwap(t *testing.T) {
 	for step := 0; step < 100; step++ {
 		a.step(servedA)
 		b.step(servedB)
-		servedA = inc.Schedule(a.tab)
+		// servedA outlives inc's next Schedule call (on table B), so it must
+		// be cloned out of the scheduler's scratch per the ownership contract.
+		servedA = CloneDecision(inc.Schedule(a.tab))
 		if !identicalDecisions(servedA, base.Schedule(a.tab)) {
 			t.Fatalf("step %d: diverged on table A after swap", step)
 		}
-		servedB = inc.Schedule(b.tab)
+		servedB = CloneDecision(inc.Schedule(b.tab))
 		if !identicalDecisions(servedB, base.Schedule(b.tab)) {
 			t.Fatalf("step %d: diverged on table B after swap", step)
 		}

@@ -51,9 +51,23 @@ type Scheduler interface {
 	// Name identifies the discipline in reports.
 	Name() string
 	// Schedule returns the flows to serve now. The table must be treated
-	// as read-only. The result is a crossbar matching and is freshly
-	// allocated on each call (callers may retain it across events).
+	// as read-only. The result is a crossbar matching held in scratch the
+	// scheduler owns: it is valid only until the next Schedule call on the
+	// same instance, which may overwrite it in place. Callers that retain
+	// a decision across decisions must copy it first (CloneDecision).
 	Schedule(t *flow.Table) []*flow.Flow
+}
+
+// CloneDecision copies a Schedule result into a fresh slice for the few
+// callers that retain decisions past the next Schedule call (held
+// matchings, test fixtures). An empty decision clones to nil.
+func CloneDecision(decision []*flow.Flow) []*flow.Flow {
+	if len(decision) == 0 {
+		return nil
+	}
+	out := make([]*flow.Flow, len(decision))
+	copy(out, decision)
+	return out
 }
 
 // DirtyConsumer is implemented by schedulers whose Schedule consumes the
@@ -129,20 +143,59 @@ type Candidate struct {
 type Key func(c Candidate) float64
 
 // scored is a candidate with its key precomputed, so sorting never calls
-// back into the discipline.
+// back into the discipline. voq caches the flow's VOQ slot (src*n+dst):
+// index repair consults it to recognize superseded entries without
+// dereferencing f, which may point at a flow that completed — and was
+// recycled through the flow free list — since the entry was built.
 type scored struct {
 	key float64
 	f   *flow.Flow
+	voq int
+}
+
+// portMarks is a pair of epoch-stamped crossbar busy masks: a port is
+// busy when its stamp equals the current epoch, so clearing both masks
+// for a new decision is one counter increment instead of two O(N) zeroing
+// passes, and the backing arrays persist across calls.
+type portMarks struct {
+	ingress []uint64
+	egress  []uint64
+	epoch   uint64
+}
+
+// reset sizes the masks for n ports and starts a fresh epoch. Newly
+// allocated zero stamps can never read as busy: the epoch pre-increments,
+// so it is always positive.
+func (m *portMarks) reset(n int) {
+	if cap(m.ingress) < n {
+		m.ingress = make([]uint64, n)
+		m.egress = make([]uint64, n)
+	}
+	m.ingress = m.ingress[:n]
+	m.egress = m.egress[:n]
+	m.epoch++
+}
+
+// taken reports whether either of f's ports is already matched.
+func (m *portMarks) taken(f *flow.Flow) bool {
+	return m.ingress[f.Src] == m.epoch || m.egress[f.Dst] == m.epoch
+}
+
+// take claims both of f's ports for the current decision.
+func (m *portMarks) take(f *flow.Flow) {
+	m.ingress[f.Src] = m.epoch
+	m.egress[f.Dst] = m.epoch
 }
 
 // greedy is the shared greedy-matching core of SRPT and fast BASRPT
 // (paper Algorithm 1): walk candidates in non-decreasing key order, keep
 // each flow whose ingress and egress ports are both free. Its buffers are
-// reused across calls.
+// reused across calls, including the selected slice handed back from
+// Schedule (see the Scheduler ownership contract).
 type greedy struct {
-	cands       []scored
-	ingressBusy []bool
-	egressBusy  []bool
+	cands    []scored
+	selected []*flow.Flow // decision scratch, returned to the caller
+	marks    portMarks
 
 	idx     *candidateIndex // lazily built by scheduleIndexed
 	noIndex bool            // benchmarking/ablation: force the from-scratch path
@@ -173,9 +226,14 @@ func (g *greedy) indexStats() IndexStats {
 // gather collects one scored candidate per non-empty VOQ.
 func (g *greedy) gather(t *flow.Table, key Key) {
 	g.cands = g.cands[:0]
+	n := t.N()
 	t.ForEachNonEmpty(func(q *flow.VOQ) {
 		f := q.Top()
-		g.cands = append(g.cands, scored{key: key(Candidate{Flow: f, QueueLen: q.Backlog()}), f: f})
+		g.cands = append(g.cands, scored{
+			key: key(Candidate{Flow: f, QueueLen: q.Backlog()}),
+			f:   f,
+			voq: q.Src*n + q.Dst,
+		})
 	})
 }
 
@@ -199,36 +257,24 @@ func cmpScored(a, b scored) int {
 	}
 }
 
-// pick runs the greedy crossbar loop over g.cands in their current order.
+// pick runs the greedy crossbar loop over g.cands in their current order,
+// filling the reusable selected scratch.
 func (g *greedy) pick(n int) []*flow.Flow {
-	if cap(g.ingressBusy) < n {
-		g.ingressBusy = make([]bool, n)
-		g.egressBusy = make([]bool, n)
-	}
-	ingress := g.ingressBusy[:n]
-	egress := g.egressBusy[:n]
-	for i := range ingress {
-		ingress[i] = false
-		egress[i] = false
-	}
-	limit := n
-	if len(g.cands) < limit {
-		limit = len(g.cands)
-	}
-	selected := make([]*flow.Flow, 0, limit)
+	g.marks.reset(n)
+	selected := g.selected[:0]
 	free := n // ports still free on the scarcer side
 	for _, c := range g.cands {
 		f := c.f
-		if ingress[f.Src] || egress[f.Dst] {
+		if g.marks.taken(f) {
 			continue
 		}
-		ingress[f.Src] = true
-		egress[f.Dst] = true
+		g.marks.take(f)
 		selected = append(selected, f)
 		if free--; free == 0 {
 			break
 		}
 	}
+	g.selected = selected
 	return selected
 }
 
@@ -268,14 +314,12 @@ func (g *greedy) scheduleIndexed(t *flow.Table, key Key) []*flow.Flow {
 	}
 	g.idx.sync(t, key)
 	if len(g.idx.view) == 0 {
+		g.selected = g.selected[:0]
 		return nil
 	}
-	n := t.N()
-	if cap(g.ingressBusy) < n {
-		g.ingressBusy = make([]bool, n)
-		g.egressBusy = make([]bool, n)
-	}
-	return g.idx.pick(g.ingressBusy[:n], g.egressBusy[:n])
+	g.marks.reset(t.N())
+	g.selected = g.idx.pick(&g.marks, g.selected[:0])
+	return g.selected
 }
 
 // checkIndex cross-checks the incremental index against a from-scratch
@@ -300,24 +344,11 @@ func (g *greedy) heapPick(n int) []*flow.Flow {
 }
 
 // popPick runs the greedy crossbar loop by destructively popping an
-// already-heapified candidate slice.
+// already-heapified candidate slice, filling the reusable selected
+// scratch.
 func (g *greedy) popPick(heap []scored, n int) []*flow.Flow {
-	if cap(g.ingressBusy) < n {
-		g.ingressBusy = make([]bool, n)
-		g.egressBusy = make([]bool, n)
-	}
-	ingress := g.ingressBusy[:n]
-	egress := g.egressBusy[:n]
-	for i := range ingress {
-		ingress[i] = false
-		egress[i] = false
-	}
-
-	limit := n
-	if len(heap) < limit {
-		limit = len(heap)
-	}
-	selected := make([]*flow.Flow, 0, limit)
+	g.marks.reset(n)
+	selected := g.selected[:0]
 	free := n
 	for len(heap) > 0 {
 		top := heap[0]
@@ -328,16 +359,16 @@ func (g *greedy) popPick(heap []scored, n int) []*flow.Flow {
 			siftDown(heap, 0)
 		}
 		f := top.f
-		if ingress[f.Src] || egress[f.Dst] {
+		if g.marks.taken(f) {
 			continue
 		}
-		ingress[f.Src] = true
-		egress[f.Dst] = true
+		g.marks.take(f)
 		selected = append(selected, f)
 		if free--; free == 0 {
 			break
 		}
 	}
+	g.selected = selected
 	return selected
 }
 
@@ -360,12 +391,20 @@ func siftDown(heap []scored, i int) {
 	}
 }
 
+// Validator re-checks decisions without allocating: it owns a pair of
+// epoch-stamped busy masks that persist across calls, so validation on
+// every decision (fabricsim's ValidateDecisions mode) no longer skews
+// allocation profiles. The zero value is ready to use; like schedulers,
+// an instance must not be shared across goroutines.
+type Validator struct {
+	marks portMarks
+}
+
 // ValidateDecision checks the crossbar constraint on a decision and that
-// every selected flow is attached. Simulators call this in debug paths and
-// tests use it as the core invariant.
-func ValidateDecision(n int, decision []*flow.Flow) error {
-	ingress := make([]bool, n)
-	egress := make([]bool, n)
+// every port is in range. Simulators call this in debug paths and tests
+// use it as the core invariant.
+func (v *Validator) ValidateDecision(n int, decision []*flow.Flow) error {
+	v.marks.reset(n)
 	for _, f := range decision {
 		if f == nil {
 			return fmt.Errorf("sched: nil flow in decision")
@@ -373,33 +412,42 @@ func ValidateDecision(n int, decision []*flow.Flow) error {
 		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
 			return fmt.Errorf("sched: flow %d ports (%d,%d) out of range", f.ID, f.Src, f.Dst)
 		}
-		if ingress[f.Src] {
+		if v.marks.ingress[f.Src] == v.marks.epoch {
 			return fmt.Errorf("sched: ingress %d used twice", f.Src)
 		}
-		if egress[f.Dst] {
+		if v.marks.egress[f.Dst] == v.marks.epoch {
 			return fmt.Errorf("sched: egress %d used twice", f.Dst)
 		}
-		ingress[f.Src] = true
-		egress[f.Dst] = true
+		v.marks.take(f)
 	}
 	return nil
 }
 
 // IsMaximalDecision reports whether no additional non-empty VOQ could be
 // served on top of decision.
-func IsMaximalDecision(t *flow.Table, decision []*flow.Flow) bool {
-	n := t.N()
-	ingress := make([]bool, n)
-	egress := make([]bool, n)
+func (v *Validator) IsMaximalDecision(t *flow.Table, decision []*flow.Flow) bool {
+	v.marks.reset(t.N())
 	for _, f := range decision {
-		ingress[f.Src] = true
-		egress[f.Dst] = true
+		v.marks.take(f)
 	}
 	maximal := true
 	t.ForEachNonEmpty(func(q *flow.VOQ) {
-		if !ingress[q.Src] && !egress[q.Dst] {
+		if v.marks.ingress[q.Src] != v.marks.epoch && v.marks.egress[q.Dst] != v.marks.epoch {
 			maximal = false
 		}
 	})
 	return maximal
+}
+
+// ValidateDecision is the one-shot form of Validator.ValidateDecision for
+// call sites that do not validate in a loop.
+func ValidateDecision(n int, decision []*flow.Flow) error {
+	var v Validator
+	return v.ValidateDecision(n, decision)
+}
+
+// IsMaximalDecision is the one-shot form of Validator.IsMaximalDecision.
+func IsMaximalDecision(t *flow.Table, decision []*flow.Flow) bool {
+	var v Validator
+	return v.IsMaximalDecision(t, decision)
 }

@@ -105,6 +105,12 @@ type Mixed struct {
 	queue    eventq.Queue
 	queryGap float64 // mean seconds between queries per host (0: disabled)
 	bgGap    float64 // mean seconds between background flows per host
+
+	// events holds one pre-boxed streamEvent per (host, class) stream,
+	// indexed 2*host (+1 for background). The payload never changes across
+	// a stream's lifetime, so rescheduling the cached interface value
+	// avoids re-boxing — one heap allocation per event — in Next.
+	events []eventq.Event
 }
 
 var _ Generator = (*Mixed)(nil)
@@ -162,13 +168,21 @@ func NewMixed(cfg MixedConfig) (*Mixed, error) {
 		m.bgGap = 1 / rate
 	}
 
-	// Prime one pending event per active stream per host.
-	for host := 0; host < cfg.Topology.NumHosts(); host++ {
+	// Prime one pending event per active stream per host, boxing each
+	// stream's event exactly once. At most every stream is pending at once,
+	// so reserving that population keeps the calendar allocation-free for
+	// the rest of the run.
+	numHosts := cfg.Topology.NumHosts()
+	m.events = make([]eventq.Event, 2*numHosts)
+	m.queue.Reserve(2 * numHosts)
+	for host := 0; host < numHosts; host++ {
+		m.events[2*host] = streamEvent{host: host, class: flow.ClassQuery}
+		m.events[2*host+1] = streamEvent{host: host, class: flow.ClassBackground}
 		if m.queryGap > 0 {
-			m.queue.Schedule(m.rng.Exp(1/m.queryGap), streamEvent{host: host, class: flow.ClassQuery})
+			m.queue.Schedule(m.rng.Exp(1/m.queryGap), m.events[2*host])
 		}
 		if m.bgGap > 0 {
-			m.queue.Schedule(m.rng.Exp(1/m.bgGap), streamEvent{host: host, class: flow.ClassBackground})
+			m.queue.Schedule(m.rng.Exp(1/m.bgGap), m.events[2*host+1])
 		}
 	}
 	return m, nil
@@ -191,11 +205,11 @@ func (m *Mixed) Next() (Arrival, bool) {
 		case flow.ClassQuery:
 			a.Dst = m.pickRemoteUniform(se.host)
 			a.Size = QueryBytes
-			m.queue.Schedule(t+m.rng.Exp(1/m.queryGap), se)
+			m.queue.Schedule(t+m.rng.Exp(1/m.queryGap), m.events[2*se.host])
 		case flow.ClassBackground:
 			a.Dst = m.pickRackLocal(se.host)
 			a.Size = m.cfg.BackgroundSizes.Sample(m.rng)
-			m.queue.Schedule(t+m.rng.Exp(1/m.bgGap), se)
+			m.queue.Schedule(t+m.rng.Exp(1/m.bgGap), m.events[2*se.host+1])
 		default:
 			continue
 		}
@@ -214,13 +228,15 @@ func (m *Mixed) pickRemoteUniform(src int) int {
 }
 
 // pickRackLocal draws a destination uniformly from src's rack, excluding
-// src itself.
+// src itself. Rack hosts are contiguous ids [base, base+k), so the draw
+// is pure arithmetic — no HostsInRack slice per arrival — and consumes
+// the same single RNG variate as the slice formulation did.
 func (m *Mixed) pickRackLocal(src int) int {
-	hosts := m.topo.HostsInRack(m.topo.RackOf(src))
-	d := hosts[m.rng.Intn(len(hosts)-1)]
+	k := m.cfg.Topology.Config().HostsPerRack
+	base := m.topo.RackOf(src) * k
+	d := base + m.rng.Intn(k-1)
 	if d >= src {
-		// hosts are contiguous and sorted; shifting by one position keeps
-		// uniformity over the rack minus src.
+		// shifting by one position keeps uniformity over the rack minus src.
 		d++
 	}
 	return d
