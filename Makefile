@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc trace-smoke cover experiments stability fuzz clean
+.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc trace-smoke soak cover experiments stability fuzz clean
 
 all: build test
 
@@ -81,6 +81,13 @@ trace-smoke:
 	cmp trace_smoke_a.jsonl trace_smoke_b.jsonl
 	@echo "trace determinism OK: $$(wc -c < trace_smoke_a.jsonl) bytes, byte-identical across runs"
 
+# Checkpoint/restore soak: halt runs at a mid-run checkpoint, resume in a
+# fresh process, and require byte-identical summaries and traces versus
+# the uninterrupted runs — per seed, with and without fault injection.
+# Artifacts land in soak_out/ (kept on failure for the CI upload).
+soak:
+	bash scripts/soak.sh
+
 cover:
 	$(GO) test -cover ./...
 
@@ -99,8 +106,11 @@ fuzz:
 	$(GO) test -fuzz FuzzEmpiricalCDFRoundTrip -fuzztime 15s ./internal/stats/
 	$(GO) test -fuzz FuzzPercentile -fuzztime 15s ./internal/stats/
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 15s ./internal/faults/
+	$(GO) test -fuzz FuzzReadTrace -fuzztime 15s ./internal/trace/
+	$(GO) test -fuzz FuzzCheckpointLoad -fuzztime 15s ./internal/checkpoint/
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata
+	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata \
+		internal/trace/testdata internal/checkpoint/testdata soak_out
 	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json BENCH_alloc.json trace_smoke_a.jsonl trace_smoke_b.jsonl

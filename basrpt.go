@@ -192,6 +192,19 @@ type (
 // NewFabricSim validates the configuration and prepares a run.
 func NewFabricSim(cfg FabricConfig) (*FabricSim, error) { return fabricsim.New(cfg) }
 
+// ResumeFabricSim reconstructs a simulator from a checkpoint (see
+// FabricConfig.CheckpointEvery) and rewinds it to the captured instant;
+// Run then continues bit-for-bit — same Result, same trace — as the
+// uninterrupted run would have.
+func ResumeFabricSim(cfg FabricConfig, data []byte) (*FabricSim, error) {
+	return fabricsim.Resume(cfg, data)
+}
+
+// ErrStopAfterCheckpoint, returned from a FabricConfig.CheckpointSink,
+// halts the run cleanly right after the checkpoint is persisted: Run
+// returns a "checkpoint-stop" diagnosis instead of an error.
+var ErrStopAfterCheckpoint = fabricsim.ErrStopAfterCheckpoint
+
 // Fault injection (deterministic, seed-driven; see internal/faults).
 type (
 	// FaultParams parameterizes fault-schedule generation.
@@ -332,6 +345,14 @@ func NewObs(o ObsOptions) *Obs { return obs.New(o) }
 // header; pass the writer as ObsOptions.Sink to stream a run's events.
 func NewTraceWriter(w io.Writer, h TraceHeader) (*TraceWriter, error) {
 	return trace.NewEventWriter(w, h)
+}
+
+// NewTraceContinuationWriter streams events as JSONL with no header line
+// — for continuing the trace of a checkpointed run, whose file already
+// holds one. Concatenating the original partial trace with a continuation
+// yields a single trace byte-identical to the uninterrupted run's.
+func NewTraceContinuationWriter(w io.Writer) *TraceWriter {
+	return trace.NewContinuationWriter(w)
 }
 
 // ReadTrace parses a JSONL trace, validating the schema and the event

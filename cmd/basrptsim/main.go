@@ -38,9 +38,22 @@ type summary struct {
 	BgAvgMs        float64 `json:"backgroundAvgMs"`
 	BgP99Ms        float64 `json:"backgroundP99Ms"`
 	QueueVerdict   string  `json:"queueVerdict"`
+	// Digest fingerprints every machine-independent result field: equal
+	// digests mean equal runs, including checkpoint-resumed ones.
+	Digest string `json:"digest"`
 
 	Faults    *basrpt.FaultCounters   `json:"faults,omitempty"`
 	Diagnosis *basrpt.FabricDiagnosis `json:"diagnosis,omitempty"`
+}
+
+// writeFileAtomic replaces path via a temp file + rename, so a checkpoint
+// reader never observes a half-written file even if the writer dies.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func run(args []string, w io.Writer) error {
@@ -63,6 +76,11 @@ func run(args []string, w io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
 		tracePath = fs.String("trace", "", "write a schema-versioned JSONL event trace to this file (byte-identical across fixed-seed runs)")
 		traceWall = fs.Bool("tracewall", false, "stamp wall-clock nanos into trace events (breaks byte-identity across runs)")
+		ckptPath  = fs.String("checkpoint", "", "persist periodic checkpoints to this file (atomic replace; also receives the watchdog's truncation checkpoint)")
+		ckptEvery = fs.Float64("checkpointevery", 0, "simulated seconds between checkpoints (default duration/4 when -checkpoint is set)")
+		haltAfter = fs.Bool("halt-after-checkpoint", false, "stop cleanly right after the first persisted checkpoint (resume later with -resume)")
+		resumeIn  = fs.String("resume", "", "resume from this checkpoint file instead of starting at t=0 (flags must match the original run)")
+		window    = fs.Float64("window", 0, "streaming-results window in simulated seconds: emit window.* trace events and bound in-memory series/FCT reservoirs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,12 +125,31 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	cfg := basrpt.FabricConfig{
-		Hosts:     topo.NumHosts(),
-		LinkBps:   topo.HostLinkBps(),
-		Scheduler: scheduler,
-		Generator: gen,
-		Duration:  *duration,
-		Seed:      *seed,
+		Hosts:        topo.NumHosts(),
+		LinkBps:      topo.HostLinkBps(),
+		Scheduler:    scheduler,
+		Generator:    gen,
+		Duration:     *duration,
+		Seed:         *seed,
+		StreamWindow: *window,
+	}
+	if *ckptPath != "" {
+		every := *ckptEvery
+		if every <= 0 {
+			every = *duration / 4
+		}
+		cfg.CheckpointEvery = every
+		cfg.CheckpointSink = func(data []byte, simTime float64) error {
+			if err := writeFileAtomic(*ckptPath, data); err != nil {
+				return err
+			}
+			if *haltAfter {
+				return basrpt.ErrStopAfterCheckpoint
+			}
+			return nil
+		}
+	} else if *haltAfter {
+		return fmt.Errorf("-halt-after-checkpoint requires -checkpoint")
 	}
 	if *inject {
 		schedule, err := basrpt.GenerateFaults(basrpt.FaultParams{
@@ -135,22 +172,41 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("create trace: %w", err)
 		}
 		defer traceFile.Close()
-		traceWriter, err = basrpt.NewTraceWriter(traceFile, basrpt.TraceHeader{
-			Seed:        int64(*seed),
-			Scheduler:   *schedName,
-			Hosts:       topo.NumHosts(),
-			Load:        *load,
-			DurationSec: *duration,
-			WallClock:   *traceWall,
-		})
-		if err != nil {
-			return fmt.Errorf("start trace: %w", err)
+		if *resumeIn != "" {
+			// A resumed run's trace has no header: concatenating the
+			// original (pre-halt) trace with this continuation yields one
+			// valid trace, byte-identical to an uninterrupted run's.
+			traceWriter = basrpt.NewTraceContinuationWriter(traceFile)
+		} else {
+			traceWriter, err = basrpt.NewTraceWriter(traceFile, basrpt.TraceHeader{
+				Seed:        int64(*seed),
+				Scheduler:   *schedName,
+				Hosts:       topo.NumHosts(),
+				Load:        *load,
+				DurationSec: *duration,
+				WallClock:   *traceWall,
+			})
+			if err != nil {
+				return fmt.Errorf("start trace: %w", err)
+			}
 		}
 		cfg.Obs = basrpt.NewObs(basrpt.ObsOptions{Sink: traceWriter, WallClock: *traceWall})
 	}
-	sim, err := basrpt.NewFabricSim(cfg)
-	if err != nil {
-		return err
+	var sim *basrpt.FabricSim
+	if *resumeIn != "" {
+		data, err := os.ReadFile(*resumeIn)
+		if err != nil {
+			return fmt.Errorf("read checkpoint: %w", err)
+		}
+		sim, err = basrpt.ResumeFabricSim(cfg, data)
+		if err != nil {
+			return err
+		}
+	} else {
+		sim, err = basrpt.NewFabricSim(cfg)
+		if err != nil {
+			return err
+		}
 	}
 	res, err := sim.Run()
 	if err != nil {
@@ -181,11 +237,20 @@ func run(args []string, w io.Writer) error {
 		BgAvgMs:        bg.MeanMs,
 		BgP99Ms:        bg.P99Ms,
 		QueueVerdict:   res.MaxPortSeries.Trend(basrpt.GrowthThreshold).Verdict.String(),
+		Digest:         res.DeterministicDigest(),
 	}
 	if res.Faults.Any() {
 		out.Faults = &res.Faults
 	}
 	out.Diagnosis = res.Diagnosis
+	// A watchdog truncation carries a resumable checkpoint; persist it so
+	// the degraded run can be continued with -resume after relaxing the
+	// bound that tripped.
+	if d := res.Diagnosis; d != nil && len(d.Checkpoint) > 0 && *ckptPath != "" {
+		if err := writeFileAtomic(*ckptPath, d.Checkpoint); err != nil {
+			return fmt.Errorf("persist truncation checkpoint: %w", err)
+		}
+	}
 	if *jsonOut {
 		return trace.WriteJSON(w, out)
 	}
@@ -210,6 +275,10 @@ func run(args []string, w io.Writer) error {
 	if traceWriter != nil {
 		tbl.AddRow("trace", fmt.Sprintf("%d events -> %s", traceWriter.Events(), *tracePath))
 	}
+	if d := out.Diagnosis; d != nil && len(d.Checkpoint) > 0 && *ckptPath != "" {
+		tbl.AddRow("checkpoint", fmt.Sprintf("%d bytes -> %s (resume with -resume %s)", len(d.Checkpoint), *ckptPath, *ckptPath))
+	}
+	tbl.AddRow("digest", out.Digest)
 	fmt.Fprint(w, tbl.Render())
 	fmt.Fprintln(w)
 	fmt.Fprint(w, trace.Chart("max-port backlog (bytes)", &res.MaxPortSeries, 60, 8))

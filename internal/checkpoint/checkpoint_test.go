@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"basrpt/internal/metrics"
+	"basrpt/internal/stats"
+	"basrpt/internal/workload"
+)
+
+func sampleState() *State {
+	return &State{
+		ConfigDigest:      "0123456789abcdef",
+		SimTime:           1.25,
+		NextID:            42,
+		NextSample:        1.3,
+		HasNextCompletion: true,
+		NextCompletion:    1.2500001,
+		HasPending:        true,
+		PendingArrival:    workload.Arrival{Time: 1.26, Src: 3, Dst: 7, Size: 1e6},
+		ArrivedFlows:      120,
+		CompletedFlows:    118,
+		ArrivedBytes:      3.5e8,
+		DepartedBytes:     3.4e8,
+		FCTSum:            0.875,
+		FCT:               metrics.FCTState{Classes: []metrics.FCTClassState{{Class: 0, Count: 2, Sum: 0.5, Max: 0.3, Samples: []float64{0.2, 0.3}}}},
+		Throughput:        metrics.ThroughputState{BucketSeconds: 0.1, Buckets: []float64{1e6, 2e6}, Total: 3e6},
+		QueueSeries:       metrics.Series{Times: []float64{0, 0.1}, Values: []float64{0, 1500}},
+		Decision:          []int64{3, 9, 11},
+		Sched:             &SchedState{Rounds: 7, GrantsLost: 1, HasRNG: true, RNG: stats.RNGState{State: 99, Inc: 3}},
+		Stream:            &StreamState{NextWindow: 1.5, FlushedDeparted: 3e8, FlushedCompleted: 100, FlushedFCTSum: 0.8},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := sampleState()
+	data, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+	// Encoding is deterministic: same state, same bytes.
+	data2, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	if _, err := Decode(data); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: got %v, want ErrFormat", err)
+	}
+}
+
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	data, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:12], SchemaVersion+1)
+	// Re-seal the CRC so the schema check, not the CRC check, fires.
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+	if _, err := Decode(data); !errors.Is(err, ErrSchema) {
+		t.Fatalf("future schema: got %v, want ErrSchema", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit.
+	data[headerLen+5] ^= 0x20
+	if _, err := Decode(data); !errors.Is(err, ErrCRC) {
+		t.Fatalf("bit flip: got %v, want ErrCRC", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 7, headerLen + trailerLen - 1, len(data) - 1, len(data) - 20} {
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrFormat) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrFormat", n, err)
+		}
+	}
+	// Trailing garbage is also a framing error, not silently ignored.
+	if _, err := Decode(append(append([]byte(nil), data...), 0xFF)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("trailing byte: got %v, want ErrFormat", err)
+	}
+}
+
+func TestDecodeRejectsMalformedPayload(t *testing.T) {
+	// Hand-build an envelope whose payload is valid per CRC but not JSON.
+	payload := []byte("not json at all")
+	data := append([]byte(nil), magic[:]...)
+	data = binary.LittleEndian.AppendUint32(data, SchemaVersion)
+	data = binary.LittleEndian.AppendUint32(data, uint32(len(payload)))
+	data = append(data, payload...)
+	data = binary.LittleEndian.AppendUint32(data, crc32.ChecksumIEEE(data))
+	if _, err := Decode(data); !errors.Is(err, ErrFormat) {
+		t.Fatalf("garbage payload: got %v, want ErrFormat", err)
+	}
+}

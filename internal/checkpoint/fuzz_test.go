@@ -1,0 +1,42 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzCheckpointLoad throws arbitrary bytes at Decode. The invariants:
+// never panic, and anything Decode accepts must survive a re-Encode
+// (i.e. acceptance implies a structurally valid State).
+func FuzzCheckpointLoad(f *testing.F) {
+	good, err := Encode(sampleState())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Add(good[:len(good)-1])
+	// Valid envelope, hostile payload.
+	hostile := append([]byte(nil), magic[:]...)
+	hostile = binary.LittleEndian.AppendUint32(hostile, SchemaVersion)
+	payload := []byte(`{"decision":[1e308,-1e308],"table":{"n":-5}}`)
+	hostile = binary.LittleEndian.AppendUint32(hostile, uint32(len(payload)))
+	hostile = append(hostile, payload...)
+	hostile = binary.LittleEndian.AppendUint32(hostile, crc32.ChecksumIEEE(hostile))
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if st == nil {
+			t.Fatal("Decode returned nil state without error")
+		}
+		if _, err := Encode(st); err != nil {
+			t.Fatalf("accepted state failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package fabricsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"basrpt/internal/obs"
+)
+
+// runTruncated drives a seeded run into a backlog-bound watchdog
+// truncation with the flight recorder attached and returns the Diagnosis.
+func runTruncated(t *testing.T, seed uint64, withFaults bool) *Diagnosis {
+	t.Helper()
+	cfg := soakConfig(t, seed, withFaults, obs.New(obs.Options{}))
+	cfg.Watchdog = &Watchdog{MaxBacklogBytes: 1}
+	res := mustRun(t, cfg)
+	if res.Diagnosis == nil || res.Diagnosis.Reason != "backlog-bound" {
+		t.Fatalf("seed %d: diagnosis = %+v, want backlog-bound", seed, res.Diagnosis)
+	}
+	return res.Diagnosis
+}
+
+// TestDiagnosisDeterministicAcrossRuns is the watchdog's reproducibility
+// property: at a fixed seed the whole Diagnosis — including the flight
+// recorder tail, event by event — serializes byte-identically across
+// independent runs, with and without fault injection. A postmortem is
+// only trustworthy if rerunning the seed reproduces it exactly.
+func TestDiagnosisDeterministicAcrossRuns(t *testing.T) {
+	for _, seed := range []uint64{3, 29, 71} {
+		for _, withFaults := range []bool{false, true} {
+			a := runTruncated(t, seed, withFaults)
+			b := runTruncated(t, seed, withFaults)
+			if len(a.LastEvents) == 0 {
+				t.Fatalf("seed %d faults=%v: empty flight recorder tail", seed, withFaults)
+			}
+			ja, err := json.Marshal(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jb, err := json.Marshal(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ja, jb) {
+				t.Errorf("seed %d faults=%v: diagnosis diverged across runs:\n%s\n%s",
+					seed, withFaults, ja, jb)
+			}
+			// The truncation checkpoint must also be byte-identical: the
+			// resumable artifact is as reproducible as the explanation.
+			if !bytes.Equal(a.Checkpoint, b.Checkpoint) {
+				t.Errorf("seed %d faults=%v: truncation checkpoints differ", seed, withFaults)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package fabricsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -102,7 +103,37 @@ type Config struct {
 	// same pointer-indirected add either way, and the event probes reduce
 	// to one pointer comparison.
 	Obs *obs.Obs
+
+	// CheckpointEvery, when positive, snapshots the full simulator state
+	// every that many simulated seconds and hands the encoded checkpoint
+	// to CheckpointSink. Checkpoints are taken at event-loop tops, where
+	// the state is fully consistent, so restoring one re-enters the loop
+	// exactly where the original run stood. Requires a Generator that
+	// implements workload.Checkpointable and a non-nil CheckpointSink.
+	CheckpointEvery float64
+	// CheckpointSink receives each periodic checkpoint (encoded bytes plus
+	// the simulated time it covers). Returning ErrStopAfterCheckpoint
+	// halts the run cleanly — partial Result with a "checkpoint-stop"
+	// Diagnosis carrying the bytes — without emitting any trace event, so
+	// a halted run's trace concatenated with its resumed continuation is
+	// byte-identical to the uninterrupted run's. Any other error fails
+	// the run.
+	CheckpointSink func(data []byte, simTime float64) error
+	// StreamWindow, when positive, turns on streaming results mode for
+	// long horizons: every StreamWindow simulated seconds the run emits
+	// window.completed / window.gbps / window.fct_avg_ms / window.backlog
+	// events through Obs, FCT sample retention switches to a bounded tail
+	// (see StreamKeep), and the queue series are trimmed to their tails —
+	// bounded memory regardless of horizon.
+	StreamWindow float64
+	// StreamKeep bounds per-class FCT samples and per-series points kept
+	// in streaming mode (default 4096). Ignored when StreamWindow is 0.
+	StreamKeep int
 }
+
+// ErrStopAfterCheckpoint, returned from a CheckpointSink, halts the run
+// cleanly right after the checkpoint is taken. See Config.CheckpointSink.
+var ErrStopAfterCheckpoint = errors.New("fabricsim: stop after checkpoint")
 
 // Watchdog bounds a run. Zero-valued limits are disabled.
 type Watchdog struct {
@@ -128,7 +159,8 @@ type Watchdog struct {
 // Diagnosis explains a watchdog truncation. A nil Result.Diagnosis means
 // the run reached its horizon.
 type Diagnosis struct {
-	// Reason is "backlog-bound" or "wallclock-budget".
+	// Reason is "backlog-bound", "wallclock-budget", or "checkpoint-stop"
+	// (a clean halt requested by the checkpoint sink, not a failure).
 	Reason string
 	// SimTime is the simulated time reached (seconds).
 	SimTime float64
@@ -149,6 +181,16 @@ type Diagnosis struct {
 	// Verbose mirrors Watchdog.VerboseDiagnosis: String() appends
 	// LastEvents after the summary line.
 	Verbose bool
+	// Checkpoint is the encoded simulator state at the stop, captured
+	// before the truncation event was emitted, so the truncated run is
+	// resumable (see Resume) instead of merely explained. Populated for
+	// "checkpoint-stop" always, and for watchdog truncations when the
+	// generator supports checkpointing. Excluded from JSON: diagnosis
+	// serializations stay small and deterministic.
+	Checkpoint []byte `json:"-"`
+	// CheckpointErr records why a truncation checkpoint could not be
+	// captured (empty on success or when capture was not attempted).
+	CheckpointErr string
 }
 
 func (d *Diagnosis) String() string {
@@ -176,6 +218,11 @@ const wallClockCheckEvery = 4096
 // defaultDiagnosisEvents is how many flight-recorder events a truncation
 // Diagnosis captures when Watchdog.DiagnosisEvents is zero.
 const defaultDiagnosisEvents = 16
+
+// defaultStreamKeep is the streaming-mode retention bound when
+// Config.StreamKeep is zero: per-class FCT samples and per-series points
+// kept in memory regardless of horizon length.
+const defaultStreamKeep = 4096
 
 // Result carries everything the paper's figures and tables read off a run.
 type Result struct {
@@ -273,6 +320,21 @@ type Sim struct {
 	res             *Result
 	drainAccumStart float64
 
+	// Checkpoint/streaming machinery. pendingTruncate defers a watchdog
+	// stop to the next event-loop top — the only place the state is
+	// consistent enough to checkpoint — so every truncation Diagnosis can
+	// carry a resumable snapshot. fctSum and the win* trackers feed the
+	// streaming windows' delta computations; all of them are serialized
+	// verbatim so a resumed run's windows match the uninterrupted run's.
+	nextCheckpoint  float64
+	nextWindow      float64
+	pendingTruncate string
+	resumed         bool
+	fctSum          float64
+	winDeparted0    float64
+	winCompleted0   int
+	winFCTSum0      float64
+
 	// Steady-state allocation avoidance: completed flows recycle through
 	// pool into the next arrivals (poolOn — see Config.DisableFlowPool),
 	// decisions are re-checked by a scratch-owning validator, and
@@ -332,6 +394,30 @@ func New(cfg Config) (*Sim, error) {
 	if wd := cfg.Watchdog; wd != nil && (wd.MaxBacklogBytes < 0 || wd.MaxWallClock < 0) {
 		return nil, fmt.Errorf("fabricsim: negative watchdog bound %+v", *wd)
 	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("fabricsim: negative checkpoint interval %g", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink == nil {
+		return nil, fmt.Errorf("fabricsim: checkpoint interval set without a sink")
+	}
+	if cfg.CheckpointSink != nil {
+		if cfg.CheckpointEvery <= 0 {
+			return nil, fmt.Errorf("fabricsim: checkpoint sink set without an interval")
+		}
+		if _, ok := cfg.Generator.(workload.Checkpointable); !ok {
+			return nil, fmt.Errorf("fabricsim: checkpointing requires a workload.Checkpointable generator, have %T", cfg.Generator)
+		}
+	}
+	if cfg.StreamWindow < 0 || cfg.StreamKeep < 0 {
+		return nil, fmt.Errorf("fabricsim: negative streaming parameter (window %g, keep %d)", cfg.StreamWindow, cfg.StreamKeep)
+	}
+	if cfg.StreamWindow > 0 && cfg.StreamKeep == 0 {
+		cfg.StreamKeep = defaultStreamKeep
+	}
+	newFCT := metrics.NewFCT
+	if cfg.StreamWindow > 0 {
+		newFCT = func() *metrics.FCT { return metrics.NewBoundedFCT(cfg.StreamKeep) }
+	}
 	s := &Sim{
 		cfg:            cfg,
 		table:          flow.NewTable(cfg.Hosts),
@@ -339,8 +425,10 @@ func New(cfg Config) (*Sim, error) {
 		byteRate:       cfg.LinkBps / 8,
 		nextCompletion: math.Inf(1),
 		scheduler:      cfg.Scheduler,
+		nextCheckpoint: cfg.CheckpointEvery,
+		nextWindow:     cfg.StreamWindow,
 		res: &Result{
-			FCT:           metrics.NewFCT(),
+			FCT:           newFCT(),
 			Throughput:    metrics.NewThroughput(cfg.ThroughputBucket),
 			Duration:      cfg.Duration,
 			SchedulerName: cfg.Scheduler.Name(),
@@ -385,18 +473,45 @@ func (s *Sim) errorf(format string, args ...any) error {
 // watchdog is not an error — it returns the partial Result with a
 // populated Diagnosis.
 func (s *Sim) Run() (*Result, error) {
-	s.fetchArrival()
+	if !s.resumed {
+		s.fetchArrival()
+	}
 	wallStart := time.Now()
 	var iter int64
 	for {
-		// Next event time: earliest of arrival, completion, sample, fault
-		// boundary, end.
+		// Loop top: the one place the simulator state is fully consistent
+		// (completions collected, arrivals admitted, decision fresh), which
+		// is why deferred truncations land here and periodic checkpoints
+		// are taken here — restoring one re-enters this exact point.
+		if s.pendingTruncate != "" {
+			return s.truncate(s.pendingTruncate), nil
+		}
+		if s.cfg.CheckpointEvery > 0 && s.now >= s.nextCheckpoint {
+			data, err := s.Checkpoint()
+			if err != nil {
+				return nil, s.errorf("checkpoint: %v", err)
+			}
+			for s.nextCheckpoint <= s.now {
+				s.nextCheckpoint += s.cfg.CheckpointEvery
+			}
+			if err := s.cfg.CheckpointSink(data, s.now); err != nil {
+				if errors.Is(err, ErrStopAfterCheckpoint) {
+					return s.stopAtCheckpoint(data), nil
+				}
+				return nil, s.errorf("checkpoint sink: %v", err)
+			}
+		}
+		// Next event time: earliest of arrival, completion, sample, window
+		// boundary, fault boundary, end.
 		t := s.cfg.Duration
 		if s.hasPending && s.pendingArrival.Time < t {
 			t = s.pendingArrival.Time
 		}
 		if s.nextSample < t {
 			t = s.nextSample
+		}
+		if s.cfg.StreamWindow > 0 && s.nextWindow < t {
+			t = s.nextWindow
 		}
 		if ct, ok := s.nextCompletionTime(); ok && ct < t {
 			t = ct
@@ -462,16 +577,28 @@ func (s *Sim) Run() (*Result, error) {
 			s.nextSample += s.cfg.SampleInterval
 			if wd := s.cfg.Watchdog; wd != nil && wd.MaxBacklogBytes > 0 {
 				if backlog := s.table.TotalBacklog(); backlog > wd.MaxBacklogBytes {
-					return s.truncate("backlog-bound"), nil
+					// Deferred to the next loop top (after this iteration's
+					// reschedule) so the truncation Diagnosis can carry a
+					// consistent, resumable checkpoint.
+					s.pendingTruncate = "backlog-bound"
 				}
 			}
 		}
+		if s.cfg.StreamWindow > 0 {
+			for s.now >= s.nextWindow {
+				s.flushWindow()
+				s.nextWindow += s.cfg.StreamWindow
+			}
+		}
 		if done {
+			if s.pendingTruncate != "" {
+				return s.truncate(s.pendingTruncate), nil
+			}
 			break
 		}
-		if wd := s.cfg.Watchdog; wd != nil && wd.MaxWallClock > 0 {
+		if wd := s.cfg.Watchdog; wd != nil && wd.MaxWallClock > 0 && s.pendingTruncate == "" {
 			if iter++; iter%wallClockCheckEvery == 0 && time.Since(wallStart) > wd.MaxWallClock {
-				return s.truncate("wallclock-budget"), nil
+				s.pendingTruncate = "wallclock-budget"
 			}
 		}
 		if reschedule {
@@ -521,18 +648,32 @@ func (s *Sim) finish() *Result {
 // metric accumulated so far (byte conservation included) plus a Diagnosis
 // saying why and where the run stopped.
 func (s *Sim) truncate(reason string) *Result {
+	// Capture the resumable snapshot BEFORE emitting the truncation event:
+	// the uninterrupted run has no such event at this point, so a resumed
+	// continuation must not carry it in the restored flight recorder.
+	var ckpt []byte
+	var ckptErr string
+	if _, ok := s.cfg.Generator.(workload.Checkpointable); ok {
+		if data, err := s.Checkpoint(); err != nil {
+			ckptErr = err.Error()
+		} else {
+			ckpt = data
+		}
+	}
 	// Record the stop itself before capturing the recorder tail, so the
 	// captured sequence ends with the truncation event.
 	s.cfg.Obs.Emit(s.now, "watchdog.truncate", -1, s.table.TotalBacklog(), reason)
 	res := s.finish()
 	res.Duration = s.now
 	res.Diagnosis = &Diagnosis{
-		Reason:       reason,
-		SimTime:      s.now,
-		BacklogBytes: res.LeftoverBytes,
-		Events:       res.Decisions,
-		Seed:         s.cfg.Seed,
-		TableEpoch:   s.table.Epoch(),
+		Reason:        reason,
+		SimTime:       s.now,
+		BacklogBytes:  res.LeftoverBytes,
+		Events:        res.Decisions,
+		Seed:          s.cfg.Seed,
+		TableEpoch:    s.table.Epoch(),
+		Checkpoint:    ckpt,
+		CheckpointErr: ckptErr,
 	}
 	if wd := s.cfg.Watchdog; wd != nil && wd.DiagnosisEvents >= 0 {
 		k := wd.DiagnosisEvents
@@ -662,6 +803,7 @@ func (s *Sim) collectCompletions() bool {
 			s.table.Remove(f)
 			s.res.CompletedFlows++
 			s.res.FCT.Add(f.Class, s.now-f.Arrival)
+			s.fctSum += s.now - f.Arrival
 			s.cfg.Obs.Emit(s.now, "flow.done", f.Src, s.now-f.Arrival, f.Class.String())
 			if s.poolOn {
 				// The flow is detached and dropped from the compacted

@@ -1,0 +1,36 @@
+package faults
+
+import (
+	"fmt"
+
+	"basrpt/internal/stats"
+)
+
+// InjectorState is the serializable position of an injector's loss
+// streams. The schedule itself (windows, probabilities, seed) is part of
+// the run configuration and is re-derived on resume; only the RNG
+// positions are genuine state — they advance with every loss draw.
+type InjectorState struct {
+	LossRNG  stats.RNGState `json:"lossRng"`
+	GrantRNG stats.RNGState `json:"grantRng"`
+}
+
+// StateSnapshot captures the injector's stream positions.
+func (in *Injector) StateSnapshot() InjectorState {
+	return InjectorState{
+		LossRNG:  in.lossRNG.State(),
+		GrantRNG: in.grantRNG.State(),
+	}
+}
+
+// RestoreState rewinds the loss streams to a captured position so the
+// resumed run draws the same loss sequence the uninterrupted run would.
+func (in *Injector) RestoreState(st InjectorState) error {
+	if err := in.lossRNG.RestoreState(st.LossRNG); err != nil {
+		return fmt.Errorf("faults: restore loss stream: %w", err)
+	}
+	if err := in.grantRNG.RestoreState(st.GrantRNG); err != nil {
+		return fmt.Errorf("faults: restore grant stream: %w", err)
+	}
+	return nil
+}

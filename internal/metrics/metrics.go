@@ -12,23 +12,73 @@ import (
 	"basrpt/internal/stats"
 )
 
-// FCT accumulates flow completion times (seconds) per flow class.
+// FCT accumulates flow completion times (seconds) per flow class. The
+// default collector keeps every sample (exact percentiles, memory grows
+// with the horizon); NewBoundedFCT keeps running aggregates plus a bounded
+// sample tail for streaming long-horizon runs.
 type FCT struct {
 	samples map[flow.Class][]float64
+	agg     map[flow.Class]*classAgg
+	cap     int // 0: unbounded; >0: retain at most this many samples per class
 }
 
-// NewFCT returns an empty collector.
+// classAgg is the running per-class aggregate, maintained on every Add so
+// mean/max/total survive sample trimming (and checkpointing) exactly.
+type classAgg struct {
+	count int64
+	sum   float64
+	max   float64
+}
+
+// NewFCT returns an empty, unbounded collector.
 func NewFCT() *FCT {
-	return &FCT{samples: make(map[flow.Class][]float64)}
+	return &FCT{
+		samples: make(map[flow.Class][]float64),
+		agg:     make(map[flow.Class]*classAgg),
+	}
+}
+
+// NewBoundedFCT returns a collector that retains at most keep samples per
+// class (keep <= 0 selects the unbounded collector). Mean, max, and total
+// stay exact via running aggregates; P99 degrades to a tail estimate over
+// the retained window — the trade streaming mode makes for bounded memory.
+func NewBoundedFCT(keep int) *FCT {
+	f := NewFCT()
+	if keep > 0 {
+		f.cap = keep
+	}
+	return f
 }
 
 // Add records one completed flow.
 func (f *FCT) Add(class flow.Class, fct float64) {
-	f.samples[class] = append(f.samples[class], fct)
+	a := f.agg[class]
+	if a == nil {
+		a = &classAgg{}
+		f.agg[class] = a
+	}
+	a.count++
+	a.sum += fct
+	if fct > a.max {
+		a.max = fct
+	}
+	s := append(f.samples[class], fct)
+	if f.cap > 0 && len(s) >= 2*f.cap {
+		// Amortized O(1): trim back to cap only after doubling.
+		copy(s, s[len(s)-f.cap:])
+		s = s[:f.cap]
+	}
+	f.samples[class] = s
 }
 
-// Count returns the number of completions recorded for class.
-func (f *FCT) Count(class flow.Class) int { return len(f.samples[class]) }
+// Count returns the number of completions recorded for class (including
+// any trimmed away in bounded mode).
+func (f *FCT) Count(class flow.Class) int {
+	if a := f.agg[class]; a != nil {
+		return int(a.count)
+	}
+	return 0
+}
 
 // ClassStats summarizes one flow class, in the units the paper's Table I
 // reports (milliseconds).
@@ -42,9 +92,28 @@ type ClassStats struct {
 }
 
 // Stats computes the class summary. Zero-valued stats are returned for a
-// class with no samples.
+// class with no samples. In bounded mode, mean/max/total come from the
+// exact running aggregates while P99 is estimated over the retained tail.
 func (f *FCT) Stats(class flow.Class) ClassStats {
 	samples := f.samples[class]
+	if f.cap > 0 {
+		cs := ClassStats{Class: class, Count: f.Count(class)}
+		a := f.agg[class]
+		if a == nil || a.count == 0 {
+			return cs
+		}
+		sorted := make([]float64, len(samples))
+		copy(sorted, samples)
+		sort.Float64s(sorted)
+		const toMs = 1e3
+		cs.MeanMs = a.sum / float64(a.count) * toMs
+		if len(sorted) > 0 {
+			cs.P99Ms = stats.PercentilesSorted(sorted, 99)[0] * toMs
+		}
+		cs.MaxMs = a.max * toMs
+		cs.TotalMs = a.sum * toMs
+		return cs
+	}
 	cs := ClassStats{Class: class, Count: len(samples)}
 	if len(samples) == 0 {
 		return cs
@@ -94,6 +163,20 @@ func (s *Series) Add(t, v float64) {
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Times) }
+
+// TrimToTail discards all but the most recent keep samples, amortized:
+// the trim only fires once the series has doubled past keep, so streaming
+// callers invoking it per window pay O(1) per sample. keep <= 0 is a no-op.
+func (s *Series) TrimToTail(keep int) {
+	if keep <= 0 || len(s.Times) < 2*keep {
+		return
+	}
+	n := len(s.Times)
+	copy(s.Times, s.Times[n-keep:])
+	copy(s.Values, s.Values[n-keep:])
+	s.Times = s.Times[:keep]
+	s.Values = s.Values[:keep]
+}
 
 // Last returns the most recent value, or 0 when empty.
 func (s *Series) Last() float64 {

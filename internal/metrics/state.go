@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+
+	"basrpt/internal/flow"
+)
+
+// FCTClassState is one class's serialized collector state: the exact
+// running aggregate plus whatever samples are retained (all of them in
+// unbounded mode, the bounded tail in streaming mode). Sum and Max are
+// stored verbatim — recomputing them from trimmed samples would lose the
+// drift a resumed run must reproduce.
+type FCTClassState struct {
+	Class   int       `json:"class"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Max     float64   `json:"max"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// FCTState is the full FCT collector state, classes in the fixed
+// Query/Background/Other order.
+type FCTState struct {
+	Cap     int             `json:"cap,omitempty"`
+	Classes []FCTClassState `json:"classes,omitempty"`
+}
+
+// StateSnapshot captures the collector for checkpointing.
+func (f *FCT) StateSnapshot() FCTState {
+	st := FCTState{Cap: f.cap}
+	for _, c := range []flow.Class{flow.ClassQuery, flow.ClassBackground, flow.ClassOther} {
+		a := f.agg[c]
+		if a == nil || a.count == 0 {
+			continue
+		}
+		st.Classes = append(st.Classes, FCTClassState{
+			Class:   int(c),
+			Count:   a.count,
+			Sum:     a.sum,
+			Max:     a.max,
+			Samples: append([]float64(nil), f.samples[c]...),
+		})
+	}
+	return st
+}
+
+// RestoreFCT rebuilds a collector from a snapshot, validating the
+// aggregate/sample consistency a live collector guarantees.
+func RestoreFCT(st FCTState) (*FCT, error) {
+	if st.Cap < 0 {
+		return nil, fmt.Errorf("metrics: restore: negative FCT cap %d", st.Cap)
+	}
+	f := NewBoundedFCT(st.Cap)
+	for _, cs := range st.Classes {
+		c := flow.Class(cs.Class)
+		if _, dup := f.agg[c]; dup {
+			return nil, fmt.Errorf("metrics: restore: class %d appears twice", cs.Class)
+		}
+		if cs.Count <= 0 {
+			return nil, fmt.Errorf("metrics: restore: class %d count %d", cs.Class, cs.Count)
+		}
+		if st.Cap == 0 && int64(len(cs.Samples)) != cs.Count {
+			return nil, fmt.Errorf("metrics: restore: unbounded class %d holds %d samples, header claims %d",
+				cs.Class, len(cs.Samples), cs.Count)
+		}
+		if st.Cap > 0 && (len(cs.Samples) == 0 || int64(len(cs.Samples)) > cs.Count) {
+			return nil, fmt.Errorf("metrics: restore: bounded class %d holds %d samples for count %d",
+				cs.Class, len(cs.Samples), cs.Count)
+		}
+		f.agg[c] = &classAgg{count: cs.Count, sum: cs.Sum, max: cs.Max}
+		f.samples[c] = append([]float64(nil), cs.Samples...)
+	}
+	return f, nil
+}
+
+// ThroughputState is the serialized throughput meter: bucket totals and
+// the running sum verbatim.
+type ThroughputState struct {
+	BucketSeconds float64   `json:"bucketSeconds"`
+	Buckets       []float64 `json:"buckets,omitempty"`
+	Total         float64   `json:"total"`
+}
+
+// StateSnapshot captures the meter for checkpointing.
+func (m *Throughput) StateSnapshot() ThroughputState {
+	return ThroughputState{
+		BucketSeconds: m.bucketSeconds,
+		Buckets:       append([]float64(nil), m.buckets...),
+		Total:         m.total,
+	}
+}
+
+// RestoreThroughput rebuilds a meter from a snapshot.
+func RestoreThroughput(st ThroughputState) (*Throughput, error) {
+	if st.BucketSeconds <= 0 {
+		return nil, fmt.Errorf("metrics: restore: throughput bucket width %g <= 0", st.BucketSeconds)
+	}
+	return &Throughput{
+		bucketSeconds: st.BucketSeconds,
+		buckets:       append([]float64(nil), st.Buckets...),
+		total:         st.Total,
+	}, nil
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaugeState is a gauge's full internal state — unlike GaugeSnapshot it
+// carries the set flag, which Max semantics depend on (the first Set after
+// restore must not clobber a restored high-water mark, and an untouched
+// gauge must restore as untouched).
+type GaugeState struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Max   float64 `json:"max"`
+	Set   bool    `json:"set"`
+}
+
+// HistogramState is a histogram's full state; Buckets reuses the sparse
+// snapshot encoding (bucket upper edges are exact powers of two, so the
+// dense counts array reconstructs losslessly).
+type HistogramState struct {
+	Name    string   `json:"name"`
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// RegistryState is every instrument in a registry, sorted by name.
+type RegistryState struct {
+	Counters   []CounterSnapshot `json:"counters,omitempty"`
+	Gauges     []GaugeState      `json:"gauges,omitempty"`
+	Histograms []HistogramState  `json:"histograms,omitempty"`
+}
+
+// StateSnapshot captures the registry for checkpointing. A nil registry
+// snapshots empty.
+func (r *Registry) StateSnapshot() RegistryState {
+	var st RegistryState
+	if r == nil {
+		return st
+	}
+	for _, name := range sortedKeys(r.counters) {
+		st.Counters = append(st.Counters, CounterSnapshot{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		st.Gauges = append(st.Gauges, GaugeState{Name: name, Value: g.v, Max: g.max, Set: g.set})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		st.Histograms = append(st.Histograms, HistogramState{
+			Name: name, Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets(),
+		})
+	}
+	return st
+}
+
+// bucketIndexOf inverts Bucket.Le (math.Ldexp(1, i)) back to the bucket
+// index, rejecting edges that are not exact in-range powers of two.
+func bucketIndexOf(le float64) (int, error) {
+	frac, exp := math.Frexp(le) // le = frac * 2^exp
+	if frac != 0.5 || exp < 1 || exp > histBuckets {
+		return 0, fmt.Errorf("obs: restore: bucket edge %g is not a valid power of two", le)
+	}
+	return exp - 1, nil
+}
+
+// RestoreState overwrites the registry's instruments from a snapshot,
+// creating any that do not yet exist. Existing instrument pointers stay
+// valid — callers that resolved a counter before the restore observe the
+// restored value afterwards — which is what lets a live simulator restore
+// its registry in place.
+func (r *Registry) RestoreState(st RegistryState) error {
+	if r == nil {
+		return fmt.Errorf("obs: restore into nil registry")
+	}
+	for _, cs := range st.Counters {
+		r.Counter(cs.Name).v = cs.Value
+	}
+	for _, gs := range st.Gauges {
+		g := r.Gauge(gs.Name)
+		g.v, g.max, g.set = gs.Value, gs.Max, gs.Set
+	}
+	for _, hs := range st.Histograms {
+		h := r.Histogram(hs.Name)
+		h.counts = [histBuckets]int64{}
+		var inBuckets int64
+		prev := -1
+		for _, b := range hs.Buckets {
+			i, err := bucketIndexOf(b.Le)
+			if err != nil {
+				return fmt.Errorf("%w (histogram %q)", err, hs.Name)
+			}
+			if i <= prev {
+				return fmt.Errorf("obs: restore: histogram %q buckets out of order", hs.Name)
+			}
+			if b.Count <= 0 {
+				return fmt.Errorf("obs: restore: histogram %q bucket %g count %d", hs.Name, b.Le, b.Count)
+			}
+			prev = i
+			h.counts[i] = b.Count
+			inBuckets += b.Count
+		}
+		if inBuckets != hs.Count {
+			return fmt.Errorf("obs: restore: histogram %q buckets hold %d observations, header claims %d",
+				hs.Name, inBuckets, hs.Count)
+		}
+		h.count = hs.Count
+		h.sum = hs.Sum
+	}
+	return nil
+}
+
+// TracerState is the event tracer's serializable position: the sequence
+// counter plus the retained flight-recorder tail in chronological order.
+type TracerState struct {
+	Seq    uint64  `json:"seq"`
+	Events []Event `json:"events,omitempty"`
+}
+
+// StateSnapshot captures the tracer (nil for a disabled handle). The
+// registry is snapshotted separately via Registry().StateSnapshot.
+func (o *Obs) StateSnapshot() *TracerState {
+	if o == nil {
+		return nil
+	}
+	return &TracerState{Seq: o.seq, Events: o.LastEvents(0)}
+}
+
+// RestoreState rewinds the tracer: the sequence counter resumes at
+// st.Seq and the ring refills with the snapshotted tail (truncated to the
+// current ring capacity, keeping the most recent events, exactly as the
+// ring itself would have). The sink is untouched — resume wiring decides
+// where continued events stream.
+func (o *Obs) RestoreState(st *TracerState) error {
+	if o == nil {
+		return fmt.Errorf("obs: restore into nil tracer")
+	}
+	if st == nil {
+		return fmt.Errorf("obs: restore from nil tracer state")
+	}
+	var last uint64
+	for i, ev := range st.Events {
+		if ev.Seq == 0 || ev.Seq > st.Seq {
+			return fmt.Errorf("obs: restore: event %d seq %d outside (0, %d]", i, ev.Seq, st.Seq)
+		}
+		if ev.Seq <= last {
+			return fmt.Errorf("obs: restore: event seqs not strictly increasing at index %d", i)
+		}
+		last = ev.Seq
+	}
+	o.seq = st.Seq
+	o.next, o.filled = 0, 0
+	if len(o.ring) > 0 {
+		evs := st.Events
+		if len(evs) > len(o.ring) {
+			evs = evs[len(evs)-len(o.ring):]
+		}
+		for _, ev := range evs {
+			o.ring[o.next] = ev
+			o.next++
+			if o.next == len(o.ring) {
+				o.next = 0
+			}
+			o.filled++
+		}
+	}
+	return nil
+}
+
+// SetSink replaces the event sink and clears any sticky sink error — the
+// resume path attaches a continuation trace writer to a restored tracer.
+func (o *Obs) SetSink(sink EventSink) {
+	if o == nil {
+		return
+	}
+	o.sink = sink
+	o.sinkErr = nil
+}

@@ -1,0 +1,120 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPoisonedSeedYieldsPartialAggregate: one panicking replicate is
+// recovered into a per-seed error; the other N-1 replicates still
+// aggregate, and the error names the task, the seed, the panic value, and
+// the stack.
+func TestPoisonedSeedYieldsPartialAggregate(t *testing.T) {
+	const seeds = 5
+	poison := DeriveSeed(9, 2)
+	task := Task{
+		Name:           "soak",
+		CheckpointPath: "out/soak.ckpt",
+		Run: func(seed uint64) (Sample, error) {
+			if seed == poison {
+				panic("index out of range [3] with length 2")
+			}
+			return Sample{"v": float64(seed % 10)}, nil
+		},
+	}
+	agg, err := Run(Config{Seeds: seeds, Parallel: 3, RootSeed: 9}, []Task{task})
+	if err == nil {
+		t.Fatal("poisoned seed reported no error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`task "soak"`,
+		"seed " + itoa(poison),
+		"panic: index out of range",
+		"checkpoint at out/soak.ckpt",
+		"runner.TestPoisonedSeedYieldsPartialAggregate", // stack frame
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error lacks %q:\n%s", want, msg)
+		}
+	}
+	if agg == nil {
+		t.Fatal("no partial aggregate returned")
+	}
+	if len(agg.Metrics) != 1 || agg.Metrics[0].Name != "soak/v" {
+		t.Fatalf("metrics = %+v", agg.Metrics)
+	}
+	if got := len(agg.Metrics[0].Samples); got != seeds-1 {
+		t.Fatalf("aggregated %d samples, want %d (one poisoned)", got, seeds-1)
+	}
+}
+
+// TestResumeHookRecoversFailure: the Resume hook turns a failed unit into
+// a successful one, and the aggregate sees the full replicate count.
+func TestResumeHookRecoversFailure(t *testing.T) {
+	bad := DeriveSeed(4, 0)
+	var resumedSeed uint64
+	var resumedCause string
+	task := Task{
+		Name: "ckpt",
+		Run: func(seed uint64) (Sample, error) {
+			if seed == bad {
+				panic("watchdog tripped")
+			}
+			return Sample{"v": 1}, nil
+		},
+		Resume: func(seed uint64, cause error) (Sample, error) {
+			resumedSeed, resumedCause = seed, cause.Error()
+			return Sample{"v": 2}, nil
+		},
+	}
+	agg, err := Run(Config{Seeds: 3, RootSeed: 4}, []Task{task})
+	if err != nil {
+		t.Fatalf("resume hook did not clear the failure: %v", err)
+	}
+	if resumedSeed != bad || !strings.Contains(resumedCause, "watchdog tripped") {
+		t.Fatalf("resume saw seed %d cause %q", resumedSeed, resumedCause)
+	}
+	if got := len(agg.Metrics[0].Samples); got != 3 {
+		t.Fatalf("aggregated %d samples, want 3", got)
+	}
+}
+
+// TestResumeFailureReportsBothCauses: a Resume that itself panics leaves
+// the unit failed with both the original and the resume failure visible.
+func TestResumeFailureReportsBothCauses(t *testing.T) {
+	task := Task{
+		Name: "hopeless",
+		Run: func(seed uint64) (Sample, error) {
+			panic("first failure")
+		},
+		Resume: func(seed uint64, cause error) (Sample, error) {
+			panic("second failure")
+		},
+	}
+	agg, err := Run(Config{Seeds: 1, RootSeed: 2}, []Task{task})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if agg != nil {
+		t.Fatal("all units failed but an aggregate was returned")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "first failure") || !strings.Contains(msg, "second failure") {
+		t.Fatalf("error lacks a cause:\n%s", msg)
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

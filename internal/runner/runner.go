@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,16 @@ type Task struct {
 	Name string
 	// Run executes the task at the given seed and returns its metrics.
 	Run func(seed uint64) (Sample, error)
+	// Resume, when non-nil, is the degraded-mode second attempt: it is
+	// called after Run fails (error or panic) with the failing seed and
+	// the cause, typically to restart the simulation from the task's last
+	// checkpoint. A successful Resume replaces the failure; a failed or
+	// panicking Resume keeps the unit failed with both causes reported.
+	Resume func(seed uint64, cause error) (Sample, error)
+	// CheckpointPath, when non-empty, names where this task persists its
+	// checkpoints. It is quoted in per-seed failure messages so a crashed
+	// sweep's survivors point straight at their resume artifacts.
+	CheckpointPath string
 }
 
 // Progress reports one finished (replicate, task) unit. Done counts units
@@ -88,10 +99,14 @@ type unit struct {
 }
 
 // Run executes every task at every derived seed across the worker pool and
-// aggregates the metrics. Individual task failures do not stop other
-// units; all failures are joined into the returned error (with the
-// offending seed and task named), and a nil *Aggregate is returned only
-// when validation fails before any unit ran.
+// aggregates the metrics. Individual task failures — including panics,
+// which are recovered per unit and converted to errors — do not stop
+// other units; all failures are joined into the returned error (with the
+// offending seed, task, and checkpoint path named). When some units
+// succeed, their partial aggregate is returned ALONGSIDE the error, so a
+// poisoned seed costs one replicate, not the whole sweep. A nil
+// *Aggregate is returned only when validation fails before any unit ran
+// or no unit succeeded.
 func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 	if cfg.Seeds < 1 {
 		return nil, fmt.Errorf("runner: seeds %d < 1", cfg.Seeds)
@@ -139,9 +154,23 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 			for u := range idx {
 				task := tasks[u%len(tasks)]
 				seed := seeds[u/len(tasks)]
-				sample, err := task.Run(seed)
+				sample, err := runUnit(task.Run, seed)
+				if err != nil && task.Resume != nil {
+					if resumed, rerr := runUnit(func(s uint64) (Sample, error) {
+						return task.Resume(s, err)
+					}, seed); rerr == nil {
+						sample, err = resumed, nil
+					} else {
+						err = fmt.Errorf("%w; resume also failed: %v", err, rerr)
+					}
+				}
 				if err != nil {
-					err = fmt.Errorf("runner: task %q seed %d: %w", task.Name, seed, err)
+					note := ""
+					if task.CheckpointPath != "" {
+						note = fmt.Sprintf(" (checkpoint at %s)", task.CheckpointPath)
+					}
+					err = fmt.Errorf("runner: task %q seed %d%s: %w", task.Name, seed, note, err)
+					sample = nil
 				}
 				units[u] = unit{sample: sample, err: err}
 				if cfg.OnProgress != nil {
@@ -170,7 +199,7 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 			errs = append(errs, u.err)
 		}
 	}
-	if len(errs) > 0 {
+	if len(errs) == nUnits {
 		return nil, errors.Join(errs...)
 	}
 
@@ -200,7 +229,19 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 			agg.Metrics = append(agg.Metrics, m)
 		}
 	}
-	return agg, nil
+	return agg, errors.Join(errs...)
+}
+
+// runUnit executes one attempt with a panic barrier: a panicking task
+// poisons its own unit (with the stack preserved in the error), never the
+// pool.
+func runUnit(run func(uint64) (Sample, error), seed uint64) (sample Sample, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return run(seed)
 }
 
 // metricNames returns the sorted union of metric names task ti produced

@@ -1,0 +1,29 @@
+package stats
+
+import "fmt"
+
+// RNGState is the serializable position of an RNG stream. Capturing and
+// restoring it resumes the generator bit-for-bit: the next draw after a
+// restore equals the next draw the snapshotted generator would have made.
+type RNGState struct {
+	State uint64 `json:"state"`
+	Inc   uint64 `json:"inc"`
+}
+
+// State snapshots the generator's position.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, Inc: r.inc}
+}
+
+// RestoreState rewinds the generator to a captured position. The stream
+// selector of a PCG generator must be odd; an even one means the state is
+// corrupt (or from a different generator family), so it is rejected rather
+// than silently producing a degenerate stream.
+func (r *RNG) RestoreState(st RNGState) error {
+	if st.Inc%2 == 0 {
+		return fmt.Errorf("stats: invalid RNG state: stream selector %#x is even", st.Inc)
+	}
+	r.state = st.State
+	r.inc = st.Inc
+	return nil
+}

@@ -49,6 +49,15 @@ func NewEventWriter(w io.Writer, h TraceHeader) (*EventWriter, error) {
 	return ew, nil
 }
 
+// NewContinuationWriter returns a writer that emits event lines with NO
+// header line. Use it when resuming a checkpointed run whose trace file
+// already holds the header: concatenating the original (partial) trace
+// with a continuation written by this writer yields a single valid trace,
+// byte-identical to the uninterrupted run's.
+func NewContinuationWriter(w io.Writer) *EventWriter {
+	return &EventWriter{bw: bufio.NewWriter(w)}
+}
+
 func (ew *EventWriter) writeLine(v any) error {
 	if ew.err != nil {
 		return ew.err

@@ -83,9 +83,6 @@ func (c MixedConfig) withDefaults() MixedConfig {
 	if c.BackgroundSizes == nil {
 		c.BackgroundSizes = WebSearchBytes()
 	}
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	return c
 }
 
@@ -145,6 +142,11 @@ func NewMixed(cfg MixedConfig) (*Mixed, error) {
 	}
 	if cfg.Topology.NumHosts() < 2 {
 		return nil, fmt.Errorf("%w: need at least 2 hosts", ErrBadConfig)
+	}
+	if cfg.Seed == 0 {
+		// Seed 0 used to silently alias to 1, making two nominally distinct
+		// seeds generate identical streams. Reject it instead.
+		return nil, fmt.Errorf("%w: seed must be nonzero", ErrBadConfig)
 	}
 
 	m := &Mixed{

@@ -94,7 +94,9 @@ func NewIncast(cfg IncastConfig) (*Incast, error) {
 		return nil, fmt.Errorf("%w: duration %g", ErrBadConfig, cfg.Duration)
 	}
 	if cfg.Seed == 0 {
-		cfg.Seed = 1
+		// Seed 0 used to silently alias to 1, making two nominally distinct
+		// seeds generate identical streams. Reject it instead.
+		return nil, fmt.Errorf("%w: seed must be nonzero", ErrBadConfig)
 	}
 	g := &Incast{
 		cfg:  cfg,
@@ -102,13 +104,17 @@ func NewIncast(cfg IncastConfig) (*Incast, error) {
 		rng:  stats.NewRNG(cfg.Seed),
 	}
 	if cfg.BackgroundLoad > 0 {
+		bgSeed := g.rng.Uint64()
+		if bgSeed == 0 {
+			bgSeed = 1 // NewMixed rejects 0; any fixed nonzero stand-in is fine
+		}
 		bg, err := NewMixed(MixedConfig{
 			Topology:          cfg.Topology,
 			Load:              cfg.BackgroundLoad,
 			QueryByteFraction: 0, // incast jobs replace the query class
 			BackgroundSizes:   cfg.BackgroundSizes,
 			Duration:          cfg.Duration,
-			Seed:              g.rng.Uint64(),
+			Seed:              bgSeed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("incast background: %w", err)

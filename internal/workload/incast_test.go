@@ -10,7 +10,7 @@ import (
 
 func TestNewIncastValidation(t *testing.T) {
 	topo := topology.MustNew(topology.Scaled(2, 4))
-	good := IncastConfig{Topology: topo, JobsPerSecond: 100, Fanout: 4, Duration: 1}
+	good := IncastConfig{Topology: topo, JobsPerSecond: 100, Fanout: 4, Duration: 1, Seed: 1}
 	if _, err := NewIncast(good); err != nil {
 		t.Fatal(err)
 	}
@@ -22,6 +22,7 @@ func TestNewIncastValidation(t *testing.T) {
 		func(c IncastConfig) IncastConfig { c.ResponseBytes = -1; return c },
 		func(c IncastConfig) IncastConfig { c.Jitter = -1; return c },
 		func(c IncastConfig) IncastConfig { c.Duration = 0; return c },
+		func(c IncastConfig) IncastConfig { c.Seed = 0; return c }, // 0 used to alias to 1
 	}
 	for i, mutate := range cases {
 		if _, err := NewIncast(mutate(good)); !errors.Is(err, ErrBadConfig) {

@@ -91,12 +91,13 @@ func TestSliceGenerator(t *testing.T) {
 func TestNewMixedValidation(t *testing.T) {
 	topo := testTopo(t, 2, 4)
 	cases := []MixedConfig{
-		{Load: 0.5, Duration: 1},                                            // nil topology
-		{Topology: topo, Load: 0, Duration: 1},                              // zero load
-		{Topology: topo, Load: 1.5, Duration: 1},                            // overload
-		{Topology: topo, Load: 0.5, Duration: 0},                            // no duration
-		{Topology: topo, Load: 0.5, Duration: 1, QueryByteFraction: 2},      // bad fraction
-		{Topology: topo, Load: 0.5, Duration: 1, QueryByteFraction: -0.001}, // bad fraction
+		{Load: 0.5, Duration: 1, Seed: 1},                                            // nil topology
+		{Topology: topo, Load: 0, Duration: 1, Seed: 1},                              // zero load
+		{Topology: topo, Load: 1.5, Duration: 1, Seed: 1},                            // overload
+		{Topology: topo, Load: 0.5, Duration: 0, Seed: 1},                            // no duration
+		{Topology: topo, Load: 0.5, Duration: 1, QueryByteFraction: 2, Seed: 1},      // bad fraction
+		{Topology: topo, Load: 0.5, Duration: 1, QueryByteFraction: -0.001, Seed: 1}, // bad fraction
+		{Topology: topo, Load: 0.5, Duration: 1},                                     // seed 0 used to alias to 1
 	}
 	for i, cfg := range cases {
 		if _, err := NewMixed(cfg); !errors.Is(err, ErrBadConfig) {

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Checkpoint/restore soak: for each seed, with and without fault
+# injection, run the fabric three ways —
+#
+#   full     : uninterrupted reference run
+#   part1    : identical run halted at the first persisted checkpoint
+#   part2    : fresh process resumed from that checkpoint
+#
+# and require (a) the resumed summary byte-identical to the full one
+# (modulo the checkpoint-stop diagnosis, which only the halted run has)
+# and (b) cat(part1.jsonl, part2.jsonl) byte-identical to full.jsonl.
+# Any divergence is a determinism regression in the checkpoint layer.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT=${SOAK_OUT:-soak_out}
+DURATION=${SOAK_DURATION:-1}
+SEEDS=${SOAK_SEEDS:-"42 43"}
+BIN="$OUT/basrptsim"
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+go build -o "$BIN" ./cmd/basrptsim
+
+fail=0
+for seed in $SEEDS; do
+  for faults in "" "-faults"; do
+    tag="seed${seed}${faults:+_faults}"
+    common=(-seed "$seed" -duration "$DURATION" -load 0.8 -racks 2 -hosts 3 $faults -json)
+
+    "$BIN" "${common[@]}" -trace "$OUT/$tag.full.jsonl" \
+      >"$OUT/$tag.full.json"
+    "$BIN" "${common[@]}" -trace "$OUT/$tag.part1.jsonl" \
+      -checkpoint "$OUT/$tag.ckpt" -halt-after-checkpoint \
+      >"$OUT/$tag.part1.json"
+    "$BIN" "${common[@]}" -trace "$OUT/$tag.part2.jsonl" \
+      -resume "$OUT/$tag.ckpt" \
+      >"$OUT/$tag.resumed.json"
+
+    if ! cat "$OUT/$tag.part1.jsonl" "$OUT/$tag.part2.jsonl" \
+        | cmp -s "$OUT/$tag.full.jsonl" -; then
+      echo "soak FAIL [$tag]: stitched trace differs from uninterrupted trace" >&2
+      fail=1
+    fi
+
+    full_digest=$(sed -n 's/.*"digest": *"\([0-9a-f]*\)".*/\1/p' "$OUT/$tag.full.json")
+    res_digest=$(sed -n 's/.*"digest": *"\([0-9a-f]*\)".*/\1/p' "$OUT/$tag.resumed.json")
+    if [ -z "$full_digest" ] || [ "$full_digest" != "$res_digest" ]; then
+      echo "soak FAIL [$tag]: result digest $res_digest != $full_digest" >&2
+      fail=1
+    fi
+
+    if [ "$fail" = 0 ]; then
+      echo "soak ok [$tag]: digest $full_digest, trace $(wc -c <"$OUT/$tag.full.jsonl") bytes"
+    fi
+  done
+done
+
+if [ "$fail" != 0 ]; then
+  echo "soak: FAILED — artifacts left in $OUT/ for inspection" >&2
+  exit 1
+fi
+echo "soak: all runs resume bit-for-bit"
