@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc trace-smoke soak cover experiments stability fuzz clean
+.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc trace-smoke soak cover experiments stability fuzz scenarios doccheck clean
 
 all: build test
 
@@ -99,6 +99,19 @@ experiments:
 stability:
 	$(GO) run ./cmd/basrptbench -exp stability -racks 2 -hosts 6 -duration 120 -csvdir results
 
+# Scenario-library regression gate: rerun every spec under scenarios/ and
+# byte-compare the regenerated findings.json + FINDINGS.md against the
+# committed files (they are byte-deterministic at any -parallel value).
+# On mismatch the regenerated artifacts land under scenario_out/ for the
+# CI upload.
+scenarios:
+	$(GO) run ./cmd/basrptexp -check -dir scenarios -out scenario_out
+
+# Documentation lint: package comments everywhere, command comments on
+# every cmd, and doc comments on every exported internal/scenario symbol.
+doccheck:
+	bash scripts/doccheck.sh
+
 # Short fuzzing passes over the parsing-adjacent substrates.
 fuzz:
 	$(GO) test -fuzz FuzzGreedyMaximal -fuzztime 15s ./internal/matching/
@@ -108,9 +121,11 @@ fuzz:
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 15s ./internal/faults/
 	$(GO) test -fuzz FuzzReadTrace -fuzztime 15s ./internal/trace/
 	$(GO) test -fuzz FuzzCheckpointLoad -fuzztime 15s ./internal/checkpoint/
+	$(GO) test -fuzz FuzzParseSpec -fuzztime 15s ./internal/scenario/
 
 clean:
 	$(GO) clean ./...
 	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata \
-		internal/trace/testdata internal/checkpoint/testdata soak_out
+		internal/trace/testdata internal/checkpoint/testdata internal/scenario/testdata \
+		soak_out scenario_out
 	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json BENCH_alloc.json trace_smoke_a.jsonl trace_smoke_b.jsonl

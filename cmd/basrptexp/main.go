@@ -1,0 +1,273 @@
+// Command basrptexp executes the declarative scenario library: JSON specs
+// under scenarios/<name>/spec.json describing topology, workload,
+// scheduler grid, optional fault schedule, load sweep, seeds, and
+// machine-checked hypotheses (see ARCHITECTURE.md "Scenario library").
+//
+//	basrptexp -list                      # inventory the library
+//	basrptexp -scenario scenarios/X      # run one spec, write its findings
+//	basrptexp -check                     # regenerate every committed finding
+//	                                     # and diff byte-for-byte (the CI gate)
+//
+// Running a scenario writes two artifacts next to its spec — findings.json
+// (schema-versioned, digest-stamped, machine-readable) and FINDINGS.md
+// (status, controlled/varied variables, check outcomes, reproduction
+// command). Both are byte-deterministic at any -parallel value, which is
+// what -check exploits: it reruns the spec and byte-compares the fresh
+// artifacts against the committed ones, failing on any drift. On mismatch
+// the regenerated files land under -out for inspection (CI uploads them).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"basrpt/internal/runner"
+	"basrpt/internal/scenario"
+	"basrpt/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "basrptexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("basrptexp", flag.ContinueOnError)
+	var (
+		specPath = fs.String("scenario", "", "one scenario: path to a spec.json or its directory")
+		dir      = fs.String("dir", "scenarios", "scenario library root (used when -scenario is not given)")
+		list     = fs.Bool("list", false, "list the library's scenarios and their committed status")
+		check    = fs.Bool("check", false, "regenerate findings and byte-compare against the committed files instead of overwriting them")
+		parallel = fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS); findings are byte-identical for any value")
+		outDir   = fs.String("out", "scenario_out", "with -check: directory receiving regenerated findings on mismatch")
+		progress = fs.Bool("progress", false, "print per-unit progress lines (bracketed; completion order is nondeterministic)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		return listScenarios(*dir, w)
+	}
+
+	var paths []string
+	if *specPath != "" {
+		paths = []string{resolveSpec(*specPath)}
+	} else {
+		var err error
+		if paths, err = discoverSpecs(*dir); err != nil {
+			return err
+		}
+		if !*check {
+			return fmt.Errorf("nothing to do: pass -scenario, -list, or -check (discovered %d specs in %s)", len(paths), *dir)
+		}
+	}
+
+	var failures []string
+	for _, p := range paths {
+		var err error
+		if *check {
+			err = checkScenario(p, *parallel, *outDir, *progress, w)
+		} else {
+			err = runScenario(p, *parallel, *progress, w)
+		}
+		if err != nil {
+			if !*check {
+				return err
+			}
+			fmt.Fprintf(w, "FAIL %s: %v\n", p, err)
+			failures = append(failures, p)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d scenarios failed the findings check: %v (regenerated artifacts under %s)",
+			len(failures), len(paths), failures, *outDir)
+	}
+	if *check {
+		fmt.Fprintf(w, "OK: %d scenario(s) regenerate byte-identical findings\n", len(paths))
+	}
+	return nil
+}
+
+// resolveSpec accepts either the spec file or its directory.
+func resolveSpec(path string) string {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		return filepath.Join(path, "spec.json")
+	}
+	return path
+}
+
+// discoverSpecs returns the library's spec paths in sorted (deterministic)
+// order.
+func discoverSpecs(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "spec.json"))
+	if err != nil {
+		return nil, fmt.Errorf("scan %s: %w", dir, err)
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no scenarios under %s (expected %s)", dir, filepath.Join(dir, "<name>", "spec.json"))
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// listScenarios prints the library inventory with each scenario's
+// committed status.
+func listScenarios(dir string, w io.Writer) error {
+	paths, err := discoverSpecs(dir)
+	if err != nil {
+		return err
+	}
+	tbl := trace.Table{
+		Title:   fmt.Sprintf("scenario library — %s", dir),
+		Headers: []string{"scenario", "status", "cells", "seeds", "checks", "title"},
+	}
+	for _, p := range paths {
+		spec, err := scenario.LoadSpec(p)
+		if err != nil {
+			tbl.AddRow(filepath.Base(filepath.Dir(p)), "BROKEN SPEC", "-", "-", "-", err.Error())
+			continue
+		}
+		status := "unrun"
+		if data, err := os.ReadFile(filepath.Join(filepath.Dir(p), "findings.json")); err == nil {
+			if f, err := scenario.DecodeFindings(data); err == nil {
+				status = f.Status
+			} else {
+				status = "CORRUPT FINDINGS"
+			}
+		}
+		tbl.AddRow(spec.Name, status,
+			strconv.Itoa(len(spec.CellNames())), strconv.Itoa(spec.Seeds.Count),
+			strconv.Itoa(len(spec.Checks)), spec.Title)
+	}
+	fmt.Fprint(w, tbl.Render())
+	return nil
+}
+
+// execute loads and runs one spec, returning the spec, findings, and both
+// rendered artifacts.
+func execute(path string, parallel int, progress bool, w io.Writer) (*scenario.Spec, *scenario.Findings, []byte, []byte, error) {
+	spec, err := scenario.LoadSpec(path)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	opt := scenario.Options{Parallel: parallel}
+	if progress {
+		opt.OnProgress = func(p runner.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "ERROR: " + p.Err.Error()
+			}
+			// Bracketed like the benchmark harness's timing lines:
+			// strip-able when comparing outputs, never part of findings.
+			fmt.Fprintf(w, "[%d/%d %s seed %d: %s]\n", p.Done, p.Total, p.Task, p.Seed, status)
+		}
+	}
+	findings, err := scenario.Execute(spec, opt)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	jsonBytes, err := findings.EncodeJSON()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return spec, findings, jsonBytes, []byte(findings.RenderMarkdown(spec)), nil
+}
+
+// runScenario executes one spec and writes its artifacts next to it.
+func runScenario(path string, parallel int, progress bool, w io.Writer) error {
+	_, findings, jsonBytes, mdBytes, err := execute(path, parallel, progress, w)
+	if err != nil {
+		return err
+	}
+	specDir := filepath.Dir(path)
+	for _, a := range artifacts(jsonBytes, mdBytes) {
+		if err := os.WriteFile(filepath.Join(specDir, a.name), a.data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%s: %s (%d metrics, %d checks) — wrote %s/{findings.json,FINDINGS.md}\n",
+		findings.Scenario, findings.Status, len(findings.Metrics), len(findings.Checks), specDir)
+	for _, c := range findings.Checks {
+		fmt.Fprintf(w, "  %-12s %s — %s\n", c.Outcome, c.Name, c.Detail)
+	}
+	return nil
+}
+
+// checkScenario regenerates one spec's artifacts and byte-compares them
+// against the committed files; regenerated bytes land under outDir on any
+// mismatch.
+func checkScenario(path string, parallel int, outDir string, progress bool, w io.Writer) error {
+	spec, findings, jsonBytes, mdBytes, err := execute(path, parallel, progress, w)
+	if err != nil {
+		return err
+	}
+	specDir := filepath.Dir(path)
+	if base := filepath.Base(specDir); base != spec.Name {
+		return fmt.Errorf("spec name %q does not match its directory %q (the reproduction path in FINDINGS.md is derived from the name)", spec.Name, base)
+	}
+	var mismatches []string
+	for _, a := range artifacts(jsonBytes, mdBytes) {
+		want, err := os.ReadFile(filepath.Join(specDir, a.name))
+		if err != nil {
+			mismatches = append(mismatches, fmt.Sprintf("%s: missing committed file (%v)", a.name, err))
+		} else if !bytes.Equal(a.data, want) {
+			mismatches = append(mismatches, fmt.Sprintf("%s: regenerated bytes differ from committed (%s)", a.name, firstDiff(want, a.data)))
+		}
+	}
+	if len(mismatches) > 0 {
+		// Land the regenerated pair under outDir so a failing CI gate
+		// uploads exactly what the run produced.
+		dst := filepath.Join(outDir, spec.Name)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			return err
+		}
+		for _, a := range artifacts(jsonBytes, mdBytes) {
+			if err := os.WriteFile(filepath.Join(dst, a.name), a.data, 0o644); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("%s", joinLines(mismatches))
+	}
+	fmt.Fprintf(w, "%s: %s — byte-identical findings\n", spec.Name, findings.Status)
+	return nil
+}
+
+// artifact is one generated findings file.
+type artifact struct {
+	name string
+	data []byte
+}
+
+// artifacts pairs the two findings renderings with their committed file
+// names, in a fixed order.
+func artifacts(jsonBytes, mdBytes []byte) []artifact {
+	return []artifact{{"findings.json", jsonBytes}, {"FINDINGS.md", mdBytes}}
+}
+
+// firstDiff locates the first differing line between two artifacts.
+func firstDiff(want, got []byte) string {
+	wl, gl := bytes.Split(want, []byte("\n")), bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first difference at line %d: committed %q vs regenerated %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("committed %d lines, regenerated %d lines", len(wl), len(gl))
+}
+
+func joinLines(lines []string) string {
+	out := lines[0]
+	for _, l := range lines[1:] {
+		out += "; " + l
+	}
+	return out
+}

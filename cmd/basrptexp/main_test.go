@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinySpec is a minimal fast scenario for end-to-end driver tests.
+const tinySpec = `{
+  "schema": "basrpt-scenario/1",
+  "name": "tiny",
+  "title": "tiny scenario",
+  "hypothesis": "throughput is nonnegative",
+  "topology": {"racks": 2, "hosts_per_rack": 2},
+  "duration_s": 0.2,
+  "workload": {},
+  "loads": [0.5],
+  "schedulers": [{"name": "srpt"}],
+  "seeds": {"count": 2, "root": 1},
+  "checks": [
+    {"name": "gbps-nonneg", "left": "srpt/gbps", "op": "ge", "value": 0}
+  ]
+}`
+
+// writeLibrary lays out dir/tiny/spec.json and returns the spec path.
+func writeLibrary(t *testing.T, dir string) string {
+	t.Helper()
+	specDir := filepath.Join(dir, "tiny")
+	if err := os.MkdirAll(specDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(specDir, "spec.json")
+	if err := os.WriteFile(path, []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunListCheckFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fabric simulation")
+	}
+	lib := t.TempDir()
+	specPath := writeLibrary(t, lib)
+	outDir := filepath.Join(t.TempDir(), "out")
+
+	// -list before any run: status "unrun".
+	var buf bytes.Buffer
+	if err := run([]string{"-list", "-dir", lib}, &buf); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if !strings.Contains(buf.String(), "unrun") {
+		t.Fatalf("-list before run should show unrun:\n%s", buf.String())
+	}
+
+	// -scenario: writes both artifacts next to the spec.
+	buf.Reset()
+	if err := run([]string{"-scenario", specPath}, &buf); err != nil {
+		t.Fatalf("-scenario: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{"findings.json", "FINDINGS.md"} {
+		if _, err := os.Stat(filepath.Join(lib, "tiny", name)); err != nil {
+			t.Fatalf("artifact %s not written: %v", name, err)
+		}
+	}
+
+	// -list after the run reports the findings status.
+	buf.Reset()
+	if err := run([]string{"-list", "-dir", lib}, &buf); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Confirmed") {
+		t.Fatalf("-list after run should show the status:\n%s", buf.String())
+	}
+
+	// -check over the whole library: byte-identical.
+	buf.Reset()
+	if err := run([]string{"-check", "-dir", lib, "-out", outDir}, &buf); err != nil {
+		t.Fatalf("-check on fresh artifacts failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "byte-identical") {
+		t.Fatalf("-check output missing confirmation:\n%s", buf.String())
+	}
+
+	// Tamper the committed findings: -check must fail and land the
+	// regenerated pair under -out.
+	fj := filepath.Join(lib, "tiny", "findings.json")
+	data, err := os.ReadFile(fj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fj, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-check", "-dir", lib, "-out", outDir}, &buf); err == nil {
+		t.Fatalf("-check accepted tampered findings:\n%s", buf.String())
+	}
+	for _, name := range []string{"findings.json", "FINDINGS.md"} {
+		if _, err := os.Stat(filepath.Join(outDir, "tiny", name)); err != nil {
+			t.Fatalf("regenerated %s not written to -out: %v", name, err)
+		}
+	}
+}
+
+func TestCheckRejectsNameDirMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fabric simulation")
+	}
+	lib := t.TempDir()
+	specDir := filepath.Join(lib, "renamed")
+	if err := os.MkdirAll(specDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(specDir, "spec.json"), []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-check", "-scenario", specDir, "-out", filepath.Join(lib, "out")}, &buf)
+	if err == nil || !strings.Contains(err.Error()+buf.String(), "does not match its directory") {
+		t.Fatalf("name/dir mismatch accepted: err=%v\n%s", err, buf.String())
+	}
+}
+
+func TestNoActionIsAnError(t *testing.T) {
+	lib := t.TempDir()
+	writeLibrary(t, lib)
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", lib}, &buf); err == nil {
+		t.Fatal("bare invocation should demand an action")
+	}
+}
+
+func TestListBrokenSpec(t *testing.T) {
+	lib := t.TempDir()
+	specDir := filepath.Join(lib, "broken")
+	if err := os.MkdirAll(specDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(specDir, "spec.json"), []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-list", "-dir", lib}, &buf); err != nil {
+		t.Fatalf("-list with broken spec should still render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "BROKEN SPEC") {
+		t.Fatalf("-list should flag the broken spec:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"basrpt/internal/runner"
+	"basrpt/internal/stats"
+)
+
+// Check outcomes. Comparisons are between per-metric replicate means with
+// margin = the sum of the two sides' 95%-CI half-widths (zero for a
+// constant side) — or, for paired checks, the 95%-CI half-width of the
+// per-replicate differences — so a check only passes or fails when the
+// data is decisive relative to its own seed-to-seed dispersion:
+//
+//   - gt/lt pass when the means differ in the claimed direction by more
+//     than the margin, fail when they differ the other way by at least
+//     the margin, and are inconclusive in between;
+//   - ge/le encode "not decisively worse": they pass unless the claimed
+//     direction is violated by more than the margin (never inconclusive);
+//   - eq passes when |left − right| ≤ tolerance + margin, fails
+//     otherwise.
+const (
+	OutcomePass         = "pass"
+	OutcomeFail         = "fail"
+	OutcomeInconclusive = "inconclusive"
+)
+
+// Findings statuses, decided by the checks: any failing check refutes the
+// hypothesis, otherwise any inconclusive check leaves it open, otherwise
+// it is confirmed.
+const (
+	StatusConfirmed    = "Confirmed"
+	StatusRefuted      = "Refuted"
+	StatusInconclusive = "Inconclusive"
+)
+
+// CheckResult is one evaluated check: the spec's assertion plus the
+// numbers it resolved to and the outcome.
+type CheckResult struct {
+	// Name, Left, Op, Right restate the CheckSpec (Right is the rendered
+	// constant for value checks).
+	Name  string `json:"name"`
+	Left  string `json:"left"`
+	Op    string `json:"op"`
+	Right string `json:"right"`
+	// Paired records whether the margin came from per-replicate paired
+	// differences (see CheckSpec.Paired).
+	Paired bool `json:"paired,omitempty"`
+	// LeftMean and RightMean are the compared replicate means; Margin is
+	// the decisiveness margin: the combined marginal 95%-CI half-widths,
+	// or the 95%-CI half-width of the paired differences for paired
+	// checks, plus the tolerance for eq checks.
+	LeftMean  float64 `json:"left_mean"`
+	RightMean float64 `json:"right_mean"`
+	Margin    float64 `json:"margin"`
+	// Outcome is pass, fail, or inconclusive; Detail is the human-read
+	// one-liner rendered into FINDINGS.md.
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail"`
+}
+
+// evaluateChecks resolves every check against the aggregate. A reference
+// to a metric the run did not produce is an execution error (the spec
+// named a quantity that does not exist), not a failed check.
+func evaluateChecks(spec *Spec, agg *runner.Aggregate) ([]CheckResult, error) {
+	results := make([]CheckResult, 0, len(spec.Checks))
+	for i, c := range spec.Checks {
+		left := agg.Metric(c.Left)
+		if left == nil {
+			return nil, fmt.Errorf("scenario: check %d (%s): left metric %q not produced by the run", i, c.Name, c.Left)
+		}
+		r := CheckResult{
+			Name:     c.Name,
+			Left:     c.Left,
+			Op:       c.Op,
+			Paired:   c.Paired,
+			LeftMean: left.Mean,
+			Margin:   left.CI95,
+		}
+		if c.Right != "" {
+			right := agg.Metric(c.Right)
+			if right == nil {
+				return nil, fmt.Errorf("scenario: check %d (%s): right metric %q not produced by the run", i, c.Name, c.Right)
+			}
+			r.Right = c.Right
+			r.RightMean = right.Mean
+			if c.Paired {
+				margin, err := pairedMargin(left, right, len(agg.Seeds))
+				if err != nil {
+					return nil, fmt.Errorf("scenario: check %d (%s): %w", i, c.Name, err)
+				}
+				r.Margin = margin
+			} else {
+				r.Margin += right.CI95
+			}
+		} else {
+			r.Right = strconv.FormatFloat(*c.Value, 'g', -1, 64)
+			r.RightMean = *c.Value
+		}
+		if c.Op == "eq" {
+			r.Margin += c.Tolerance
+		}
+		r.Outcome = decide(c.Op, r.LeftMean, r.RightMean, r.Margin)
+		kind := ""
+		if c.Paired {
+			kind = ", paired"
+		}
+		r.Detail = fmt.Sprintf("%s = %s %s %s = %s (margin %s%s): %s",
+			r.Left, fmtG(r.LeftMean), c.Op, r.Right, fmtG(r.RightMean), fmtG(r.Margin), kind, r.Outcome)
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// pairedMargin is the 95%-CI half-width of the per-replicate differences
+// left_i − right_i. Replicate i of both metrics ran the identical derived
+// seed (runner aggregates in replicate order), so the difference isolates
+// the scheduling discipline from the cross-seed workload draw. Both
+// metrics must have been reported by every replicate, or pairing is
+// undefined (Samples skips replicates that omitted the metric, which
+// would silently misalign the pairs).
+func pairedMargin(left, right *runner.MetricAggregate, replicates int) (float64, error) {
+	if left.N != replicates || right.N != replicates {
+		return 0, fmt.Errorf("paired check needs every replicate to report both metrics: %s has %d of %d samples, %s has %d",
+			left.Name, left.N, replicates, right.Name, right.N)
+	}
+	var s stats.Summary
+	for i := range left.Samples {
+		s.Add(left.Samples[i] - right.Samples[i])
+	}
+	return s.CI95(), nil
+}
+
+// decide applies one comparison; see the outcome-constants comment for
+// the semantics.
+func decide(op string, left, right, margin float64) string {
+	d := left - right
+	switch op {
+	case "gt":
+		if d > margin {
+			return OutcomePass
+		}
+		if d <= -margin {
+			return OutcomeFail
+		}
+		return OutcomeInconclusive
+	case "lt":
+		if -d > margin {
+			return OutcomePass
+		}
+		if -d <= -margin {
+			return OutcomeFail
+		}
+		return OutcomeInconclusive
+	case "ge":
+		if d >= -margin {
+			return OutcomePass
+		}
+		return OutcomeFail
+	case "le":
+		if d <= margin {
+			return OutcomePass
+		}
+		return OutcomeFail
+	case "eq":
+		if d < 0 {
+			d = -d
+		}
+		if d <= margin {
+			return OutcomePass
+		}
+		return OutcomeFail
+	}
+	// Validate rejects unknown ops before execution.
+	panic("scenario: unreachable op " + op)
+}
+
+// statusOf folds check outcomes into the findings status.
+func statusOf(checks []CheckResult) string {
+	status := StatusConfirmed
+	for _, c := range checks {
+		switch c.Outcome {
+		case OutcomeFail:
+			return StatusRefuted
+		case OutcomeInconclusive:
+			status = StatusInconclusive
+		}
+	}
+	return status
+}
+
+// fmtG renders a float compactly and deterministically (shortest
+// round-trip form, the same representation encoding/json uses).
+func fmtG(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

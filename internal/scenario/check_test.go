@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"basrpt/internal/runner"
+)
+
+func TestDecide(t *testing.T) {
+	cases := []struct {
+		op                  string
+		left, right, margin float64
+		want                string
+	}{
+		{"gt", 10, 5, 1, OutcomePass},
+		{"gt", 5, 10, 1, OutcomeFail},
+		{"gt", 10, 9.5, 1, OutcomeInconclusive},
+		{"lt", 5, 10, 1, OutcomePass},
+		{"lt", 10, 5, 1, OutcomeFail},
+		{"lt", 9.5, 10, 1, OutcomeInconclusive},
+		{"ge", 10, 5, 1, OutcomePass},
+		{"ge", 9.5, 10, 1, OutcomePass}, // within margin: not decisively worse
+		{"ge", 5, 10, 1, OutcomeFail},
+		{"le", 5, 10, 1, OutcomePass},
+		{"le", 10.5, 10, 1, OutcomePass},
+		{"le", 10, 5, 1, OutcomeFail},
+		{"eq", 10, 10.5, 1, OutcomePass},
+		{"eq", 10, 12, 1, OutcomeFail},
+	}
+	for _, tc := range cases {
+		if got := decide(tc.op, tc.left, tc.right, tc.margin); got != tc.want {
+			t.Errorf("decide(%s, %g, %g, %g) = %s, want %s",
+				tc.op, tc.left, tc.right, tc.margin, got, tc.want)
+		}
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	mk := func(outcomes ...string) []CheckResult {
+		var cs []CheckResult
+		for _, o := range outcomes {
+			cs = append(cs, CheckResult{Outcome: o})
+		}
+		return cs
+	}
+	if got := statusOf(mk(OutcomePass, OutcomePass)); got != StatusConfirmed {
+		t.Errorf("all pass: %s", got)
+	}
+	if got := statusOf(mk(OutcomePass, OutcomeInconclusive)); got != StatusInconclusive {
+		t.Errorf("one inconclusive: %s", got)
+	}
+	if got := statusOf(mk(OutcomeInconclusive, OutcomeFail)); got != StatusRefuted {
+		t.Errorf("fail dominates: %s", got)
+	}
+	if got := statusOf(nil); got != StatusConfirmed {
+		t.Errorf("vacuous (unreachable via Validate): %s", got)
+	}
+}
+
+// TestPairedMarginAlignment: a metric missing from one replicate makes
+// pairing undefined and must be an error, not a silent misalignment.
+func TestPairedMarginAlignment(t *testing.T) {
+	full := &runner.MetricAggregate{Name: "a/x", N: 3, Samples: []float64{1, 2, 3}}
+	short := &runner.MetricAggregate{Name: "b/x", N: 2, Samples: []float64{1, 2}}
+	if _, err := pairedMargin(full, short, 3); err == nil {
+		t.Fatal("misaligned pairing accepted")
+	}
+	if _, err := pairedMargin(full, full, 3); err != nil {
+		t.Fatalf("aligned pairing rejected: %v", err)
+	}
+	// Identical samples pair to zero differences: margin 0.
+	m, err := pairedMargin(full, full, 3)
+	if err != nil || m != 0 {
+		t.Fatalf("self-paired margin = %g, %v; want 0, nil", m, err)
+	}
+}
+
+// TestEvaluateChecksUnknownMetric: referencing a metric the run did not
+// produce is an execution error, not a failed check.
+func TestEvaluateChecksUnknownMetric(t *testing.T) {
+	spec := mustParse(t, validSpecJSON)
+	spec.Checks = []CheckSpec{{Name: "c", Left: "srpt/no_such_metric", Op: "ge", Value: f64(0)}}
+	agg := &runner.Aggregate{
+		Seeds:   []uint64{1, 2},
+		Metrics: []runner.MetricAggregate{{Name: "srpt/gbps", N: 2, Mean: 1, Samples: []float64{1, 1}}},
+	}
+	_, err := evaluateChecks(spec, agg)
+	if err == nil || !strings.Contains(err.Error(), "no_such_metric") {
+		t.Fatalf("unknown metric: err = %v", err)
+	}
+}
+
+func f64(v float64) *float64 { return &v }

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec drives the strict loader with arbitrary bytes: it must
+// never panic, every rejection must unwrap to ErrSpec, and every accepted
+// spec must re-validate and round-trip through its canonical form.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(validSpecJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"schema":"basrpt-scenario/1","name":"x","unknown":true}`))
+	f.Add([]byte(`{"schema":"basrpt-scenario/1","loads":[2.0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("rejection does not unwrap to ErrSpec: %v", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+		canon, err := s.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted spec has no canonical form: %v", err)
+		}
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form of accepted spec rejected: %v\n%s", err, canon)
+		}
+		canon2, err := s2.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+	})
+}
