@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc trace-smoke soak cover experiments stability fuzz scenarios doccheck clean
+.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc bench-shard trace-smoke soak cover experiments stability fuzz scenarios doccheck clean
 
 all: build test
 
@@ -14,6 +14,7 @@ test:
 
 race:
 	$(GO) test -race ./...
+	GOMAXPROCS=4 $(GO) test -race -run 'TestRunShardDecomposed' ./internal/fabricsim/
 
 vet:
 	gofmt -l . && $(GO) vet ./...
@@ -70,6 +71,24 @@ bench-alloc:
 
 # Simulated horizon of the bench-alloc fabric pairs (four runs total).
 ALLOCBENCH_DURATION ?= 0.02
+
+# Shard-scaling regression gate: the centralized 1-shard engine versus
+# rack-decomposed arms at 2 and 4 shards on a 4128-host (344x12) fabric
+# at 0.5 load. Every decomposed arm must report one deterministic digest
+# (grouping invariance at scale), and the widest arm must beat the
+# checked-in bench_shard_budget.json floor over the centralized arm, or
+# the target fails. The report goes to BENCH_shard.json (uploaded as a
+# CI artifact).
+bench-shard:
+	$(GO) run ./cmd/basrptbench -shardbench BENCH_shard.json \
+		-shardbudget bench_shard_budget.json \
+		-racks 344 -hosts 12 -duration $(SHARDBENCH_DURATION)
+
+# Simulated horizon of the bench-shard arms. 2 ms at 4128 hosts is ~62k
+# scheduling decisions on the centralized arm, which dominates the wall
+# time — its fabric-global matching is exactly what the decomposed arms
+# are measured against.
+SHARDBENCH_DURATION ?= 0.002
 
 # Trace-export smoke check: two fixed-seed traced runs must produce
 # byte-identical JSONL (the determinism contract CI also enforces).
@@ -128,4 +147,4 @@ clean:
 	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata \
 		internal/trace/testdata internal/checkpoint/testdata internal/scenario/testdata \
 		soak_out scenario_out
-	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json BENCH_alloc.json trace_smoke_a.jsonl trace_smoke_b.jsonl
+	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json BENCH_alloc.json BENCH_shard.json trace_smoke_a.jsonl trace_smoke_b.jsonl

@@ -187,6 +187,10 @@ type (
 	FabricWatchdog = fabricsim.Watchdog
 	// FabricDiagnosis explains a watchdog-truncated run.
 	FabricDiagnosis = fabricsim.Diagnosis
+	// ShardConfig parameterizes a sharded fabric run (RunShardedFabric):
+	// one cell per rack, conservative-lookahead windows, two determinism
+	// families keyed on Shards (see ARCHITECTURE.md "Sharded fabric").
+	ShardConfig = fabricsim.ShardConfig
 )
 
 // NewFabricSim validates the configuration and prepares a run.
@@ -204,6 +208,24 @@ func ResumeFabricSim(cfg FabricConfig, data []byte) (*FabricSim, error) {
 // halts the run cleanly right after the checkpoint is persisted: Run
 // returns a "checkpoint-stop" diagnosis instead of an error.
 var ErrStopAfterCheckpoint = fabricsim.ErrStopAfterCheckpoint
+
+// RunShardedFabric executes one fabric run on the sharded engine.
+// Shards == 1 selects the centralized simulator (byte-identical to
+// NewFabricSim + Run); Shards >= 2 selects the rack-decomposed engine,
+// whose result is byte-identical across every shard count >= 2 and any
+// GOMAXPROCS. At 4k+ hosts the decomposed engine's per-rack matchings
+// beat the centralized fabric-global matching by orders of magnitude
+// (see `make bench-shard`).
+func RunShardedFabric(cfg ShardConfig) (*FabricResult, error) { return fabricsim.RunShard(cfg) }
+
+// ErrShardConfig is the sentinel wrapped by every ShardConfig
+// validation failure.
+var ErrShardConfig = fabricsim.ErrShardConfig
+
+// ErrShardUnsupported marks features the decomposed (Shards >= 2)
+// engine rejects — checkpointing runs sharded state through the
+// centralized engine instead (see ARCHITECTURE.md "Sharded fabric").
+var ErrShardUnsupported = fabricsim.ErrShardUnsupported
 
 // Fault injection (deterministic, seed-driven; see internal/faults).
 type (
@@ -304,6 +326,15 @@ type (
 	// AllocBudget is the checked-in per-decision allocation ceiling the CI
 	// gate enforces over BENCH_alloc.json.
 	AllocBudget = core.AllocBudget
+	// ShardBenchResult reports scheduling throughput across shard counts
+	// (the BENCH_shard.json shape): the centralized engine versus the
+	// rack-decomposed engine at growing shard counts.
+	ShardBenchResult = core.ShardBenchResult
+	// ShardBenchRow is one shard-count arm of the scaling benchmark.
+	ShardBenchRow = core.ShardBenchRow
+	// ShardBudget is the checked-in shard-scaling floor the CI gate
+	// enforces over BENCH_shard.json.
+	ShardBudget = core.ShardBudget
 )
 
 // Observability (see internal/obs): a deterministic instrumentation
@@ -482,6 +513,16 @@ func RunObsBench(scale Scale, load float64) (*ObsBenchResult, error) {
 // arms must produce byte-identical Results or the bench errors.
 func RunAllocBench(scale Scale, load float64) (*AllocBenchResult, error) {
 	return core.RunAllocBench(scale, load)
+}
+
+// RunShardBench measures scheduling throughput across shard counts on
+// one topology: the centralized engine at 1 shard, then rack-decomposed
+// arms doubling from 2 up to maxShards (default 4). Every decomposed arm
+// must report an identical deterministic digest or the bench errors, so
+// each run doubles as a grouping-invariance check at scale (load <= 0
+// selects the 0.5 default).
+func RunShardBench(scale Scale, load float64, maxShards int) (*ShardBenchResult, error) {
+	return core.RunShardBench(scale, load, maxShards)
 }
 
 // RunFaults compares SRPT and fast BASRPT under byte-identical workloads

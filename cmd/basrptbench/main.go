@@ -35,6 +35,12 @@
 // Pass -allocbudget FILE to fail the run when allocs/decision exceeds the
 // checked-in budget (the CI allocation gate).
 //
+// With -shardbench PATH the tool instead benchmarks the sharded fabric
+// engine: the centralized 1-shard simulator against rack-decomposed arms
+// doubling up to -shards, reporting decisions/sec and speedup per arm to
+// PATH (the CI artifact BENCH_shard.json). Pass -shardbudget FILE to fail
+// the run when the widest arm misses the checked-in scaling floor.
+//
 // Profiling: -cpuprofile/-memprofile write pprof profiles around whatever
 // work the other flags select; -pprof ADDR serves net/http/pprof for live
 // inspection of long runs.
@@ -86,6 +92,9 @@ func run(args []string, w io.Writer) error {
 		obsJSON   = fs.String("obsbench", "", "instead of experiments: measure observability overhead + trace determinism at this scale (load 0.8) and write the report to this path")
 		allocJSON = fs.String("allocbench", "", "instead of experiments: measure steady-state allocations/GC per decision (pooled vs non-pooled byte-identical runs, load 0.8) and write the report to this path")
 		allocBudg = fs.String("allocbudget", "", "with -allocbench: JSON budget file (max_allocs_per_decision, max_alloc_bytes_per_decision); exceeding it fails the run")
+		shardJSON = fs.String("shardbench", "", "instead of experiments: benchmark the sharded fabric engine across shard counts at this scale (load 0.5) and write decisions/sec + speedup to this path")
+		shards    = fs.Int("shards", 4, "with -shardbench: widest shard count (arms double from 2 up to this)")
+		shardBudg = fs.String("shardbudget", "", "with -shardbench: JSON budget file (min_speedup_at_max_shards, min_parallel_speedup); missing the floor fails the run")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the selected work to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile (after the selected work) to this file")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the work runs")
@@ -165,6 +174,12 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("-allocbench runs single-seed pairs (drop -seeds)")
 		}
 		return runAllocBench(w, scale, *allocJSON, *allocBudg)
+	}
+	if *shardJSON != "" {
+		if *seeds > 1 {
+			return fmt.Errorf("-shardbench runs single-seed arms (drop -seeds)")
+		}
+		return runShardBench(w, scale, *shards, *shardJSON, *shardBudg)
 	}
 
 	wanted := strings.Split(*exp, ",")
@@ -595,6 +610,64 @@ func runAllocBench(w io.Writer, scale basrpt.Scale, path, budgetPath string) err
 	if budgetPath != "" {
 		fmt.Fprintf(w, "[alloc budget OK: <= %.2f allocs/decision, <= %.0f bytes/decision]\n",
 			report.Budget.MaxAllocsPerDecision, report.Budget.MaxAllocBytesPerDecision)
+	}
+	return nil
+}
+
+// shardReport is the -shardbench artifact (BENCH_shard.json in CI): the
+// sharded fabric engine's decision throughput per shard count — the
+// centralized 1-shard arm against rack-decomposed arms — plus the
+// scaling budget the run was gated on (when one was supplied).
+type shardReport struct {
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Budget     *basrpt.ShardBudget      `json:"budget,omitempty"`
+	Result     *basrpt.ShardBenchResult `json:"result"`
+}
+
+// runShardBench is the -shardbench path: shard-scaling arms on one
+// topology, rendered as a table, written as JSON, and checked against
+// the budget file when one is given (the CI scaling gate).
+func runShardBench(w io.Writer, scale basrpt.Scale, maxShards int, path, budgetPath string) error {
+	start := time.Now()
+	res, err := basrpt.RunShardBench(scale, 0, maxShards)
+	if err != nil {
+		return fmt.Errorf("shardbench: %w", err)
+	}
+	fmt.Fprintln(w, res.Render())
+	fmt.Fprintf(w, "[shardbench took %s]\n", time.Since(start).Round(time.Millisecond))
+	report := shardReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Result:     res,
+	}
+	var budgetErr error
+	if budgetPath != "" {
+		raw, err := os.ReadFile(budgetPath)
+		if err != nil {
+			return fmt.Errorf("shardbench: budget: %w", err)
+		}
+		var budget basrpt.ShardBudget
+		if err := json.Unmarshal(raw, &budget); err != nil {
+			return fmt.Errorf("shardbench: budget %s: %w", budgetPath, err)
+		}
+		report.Budget = &budget
+		// Write the report even on a violation, so CI archives the numbers
+		// that failed the gate.
+		budgetErr = res.CheckBudget(budget)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shardbench: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("shardbench: %w", err)
+	}
+	fmt.Fprintf(w, "[shard report written to %s]\n", path)
+	if budgetErr != nil {
+		return fmt.Errorf("shardbench: %w", budgetErr)
+	}
+	if budgetPath != "" {
+		fmt.Fprintf(w, "[shard budget OK: >= %.2fx decisions/sec at %d shards vs centralized]\n",
+			report.Budget.MinSpeedupAtMaxShards, res.Rows[len(res.Rows)-1].Shards)
 	}
 	return nil
 }

@@ -283,6 +283,71 @@ func TestObsBenchJSON(t *testing.T) {
 	}
 }
 
+// TestShardBenchJSON checks the -shardbench mode: the shard-scaling
+// report renders per-arm decision rates, lands as valid JSON (the
+// BENCH_shard.json CI artifact), and the budget gate writes the report
+// before failing.
+func TestShardBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_shard.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-shardbench", path, "-racks", "3", "-hosts", "4", "-duration", "0.01", "-shards", "4",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Shard scaling") {
+		t.Fatalf("missing rendered table:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report shardReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid report JSON: %v\n%s", err, raw)
+	}
+	if report.GOMAXPROCS < 1 || report.Result == nil || len(report.Result.Rows) != 3 {
+		t.Fatalf("report shape wrong: %+v", report)
+	}
+	for _, row := range report.Result.Rows {
+		if row.Decisions <= 0 || row.DecisionsPerSec <= 0 || row.Digest == "" {
+			t.Fatalf("shard row not measured: %+v", row)
+		}
+	}
+
+	// An impossible budget fails the run but still writes the report —
+	// CI archives the numbers that tripped the gate.
+	budgetPath := filepath.Join(dir, "budget.json")
+	if err := os.WriteFile(budgetPath, []byte(`{"min_speedup_at_max_shards": 1e9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gatedPath := filepath.Join(dir, "BENCH_shard_gated.json")
+	err = run([]string{
+		"-shardbench", gatedPath, "-racks", "3", "-hosts", "4", "-duration", "0.01",
+		"-shardbudget", budgetPath,
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "shard budget exceeded") {
+		t.Fatalf("impossible budget passed: %v", err)
+	}
+	if _, err := os.Stat(gatedPath); err != nil {
+		t.Fatalf("report not written on budget violation: %v", err)
+	}
+
+	// Multi-seed makes no sense for the fixed-seed scaling arms.
+	if err := run([]string{"-shardbench", path, "-seeds", "2"}, &buf); err == nil {
+		t.Fatal("-shardbench with -seeds accepted")
+	}
+	// A missing budget file is a configuration error.
+	if err := run([]string{
+		"-shardbench", path, "-racks", "2", "-hosts", "2", "-duration", "0.01",
+		"-shardbudget", filepath.Join(dir, "nope.json"),
+	}, &buf); err == nil {
+		t.Fatal("missing budget file accepted")
+	}
+}
+
 func TestProfileFlagsWriteFiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"basrpt/internal/topology"
@@ -37,9 +38,49 @@ var (
 	ScalePaper  = Scale{Racks: 12, HostsPerRack: 12, Duration: 500, Seed: 1}
 )
 
+// ErrScale reports a Scale with negative or otherwise unusable dimensions.
+// Validate wraps it so callers can detect bad sizing with errors.Is.
+var ErrScale = errors.New("core: invalid scale")
+
+// Validate rejects scales whose dimensions cannot describe a fabric:
+// negative racks or hosts-per-rack, negative duration, or a warmup fraction
+// outside [0,1). Zero counts are also rejected — callers that want the
+// ScaleMedium defaults must go through the runners (RunCell etc.), which
+// apply withDefaults explicitly; entry points taking user-supplied sizes
+// (the shard bench, CLI flags) call Validate first so a typo like
+// "-racks -4" fails with a typed error instead of silently defaulting.
+func (s Scale) Validate() error {
+	if s.Racks <= 0 {
+		return fmt.Errorf("%w: racks %d (want > 0)", ErrScale, s.Racks)
+	}
+	if s.HostsPerRack <= 0 {
+		return fmt.Errorf("%w: hosts per rack %d (want > 0)", ErrScale, s.HostsPerRack)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("%w: duration %g (want > 0)", ErrScale, s.Duration)
+	}
+	if s.WarmupFraction < 0 || s.WarmupFraction >= 1 {
+		return fmt.Errorf("%w: warmup fraction %g (want [0,1))", ErrScale, s.WarmupFraction)
+	}
+	return nil
+}
+
+// Hosts returns the total host count of the scale after defaulting, i.e.
+// the host count the runners will actually simulate. The bench flags use it
+// to size topologies and report headers without re-deriving the defaulting
+// rules.
+func (s Scale) Hosts() int {
+	s = s.withDefaults()
+	return s.Racks * s.HostsPerRack
+}
+
 // Topology builds the scale's fabric and validates the big-switch
-// abstraction.
+// abstraction. Negative dimensions fail with ErrScale before reaching the
+// topology layer (which would reject them with topology.ErrDimension).
 func (s Scale) Topology() (*topology.Topology, error) {
+	if s.Racks < 0 || s.HostsPerRack < 0 {
+		return nil, fmt.Errorf("%w: negative dimensions %dx%d", ErrScale, s.Racks, s.HostsPerRack)
+	}
 	topo, err := topology.New(topology.Scaled(s.Racks, s.HostsPerRack))
 	if err != nil {
 		return nil, fmt.Errorf("build topology: %w", err)

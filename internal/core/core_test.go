@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"basrpt/internal/topology"
 )
 
 func TestScaleDefaults(t *testing.T) {
@@ -16,6 +19,58 @@ func TestScaleDefaults(t *testing.T) {
 	}
 	if got := ScaleSmall.String(); !strings.Contains(got, "8 hosts") {
 		t.Fatalf("ScaleSmall.String() = %q", got)
+	}
+}
+
+func TestScaleValidate(t *testing.T) {
+	good := Scale{Racks: 2, HostsPerRack: 4, Duration: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scale rejected: %v", err)
+	}
+	bad := []Scale{
+		{Racks: 0, HostsPerRack: 4, Duration: 1},
+		{Racks: -4, HostsPerRack: 4, Duration: 1},
+		{Racks: 2, HostsPerRack: 0, Duration: 1},
+		{Racks: 2, HostsPerRack: -1, Duration: 1},
+		{Racks: 2, HostsPerRack: 4, Duration: 0},
+		{Racks: 2, HostsPerRack: 4, Duration: 1, WarmupFraction: 1},
+		{Racks: 2, HostsPerRack: 4, Duration: 1, WarmupFraction: -0.1},
+	}
+	for i, s := range bad {
+		err := s.Validate()
+		if err == nil {
+			t.Fatalf("scale %d accepted: %+v", i, s)
+		}
+		if !errors.Is(err, ErrScale) {
+			t.Fatalf("scale %d: error %v is not ErrScale", i, err)
+		}
+	}
+}
+
+func TestScaleHosts(t *testing.T) {
+	if got := ScalePaper.Hosts(); got != 144 {
+		t.Fatalf("ScalePaper.Hosts() = %d, want 144", got)
+	}
+	// Zero dimensions resolve through withDefaults, matching what the
+	// runners simulate for a zero-value Scale.
+	var zero Scale
+	want := ScaleMedium.Racks * ScaleMedium.HostsPerRack
+	if got := zero.Hosts(); got != want {
+		t.Fatalf("zero Scale.Hosts() = %d, want %d", got, want)
+	}
+	if got := (Scale{Racks: 344, HostsPerRack: 12}).Hosts(); got != 4128 {
+		t.Fatalf("Hosts() = %d, want 4128", got)
+	}
+}
+
+func TestScaleTopologyTypedErrors(t *testing.T) {
+	if _, err := (Scale{Racks: -1, HostsPerRack: 4}).Topology(); !errors.Is(err, ErrScale) {
+		t.Fatalf("negative racks: %v, want ErrScale", err)
+	}
+	// Zero dims reach the topology layer and fail there with its typed
+	// dimension error rather than silently defaulting.
+	if _, err := (Scale{}).Topology(); !errors.Is(err, topology.ErrDimension) {
+		t.Fatalf("zero dims: %v, want topology.ErrDimension", err)
 	}
 }
 

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunShardBenchSmall(t *testing.T) {
+	scale := Scale{Racks: 3, HostsPerRack: 4, Duration: 0.01, Seed: 1}
+	res, err := RunShardBench(scale, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (shards 1, 2, 4)", len(res.Rows))
+	}
+	if res.Rows[0].Engine != "centralized" || res.Rows[1].Engine != "decomposed" {
+		t.Fatalf("engine labels %q, %q", res.Rows[0].Engine, res.Rows[1].Engine)
+	}
+	if res.Rows[1].Digest != res.Rows[2].Digest {
+		t.Fatalf("decomposed digests diverged: %s vs %s", res.Rows[1].Digest, res.Rows[2].Digest)
+	}
+	if res.Rows[0].Digest == res.Rows[1].Digest {
+		t.Fatal("centralized and decomposed digests identical; the families model different physics")
+	}
+	for _, row := range res.Rows {
+		if row.Decisions == 0 || row.DecisionsPerSec <= 0 || row.WallSeconds <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+	}
+	if res.Rows[0].SpeedupVsCentralized != 1 {
+		t.Fatalf("centralized speedup = %g, want 1", res.Rows[0].SpeedupVsCentralized)
+	}
+	if out := res.Render(); !strings.Contains(out, "Shard scaling") {
+		t.Fatalf("render missing title:\n%s", out)
+	}
+
+	// A disabled budget never trips; an absurd floor always does.
+	if err := res.CheckBudget(ShardBudget{}); err != nil {
+		t.Fatalf("disabled budget tripped: %v", err)
+	}
+	if err := res.CheckBudget(ShardBudget{MinSpeedupAtMaxShards: 1e9}); err == nil {
+		t.Fatal("absurd speedup floor passed")
+	}
+}
+
+func TestRunShardBenchValidation(t *testing.T) {
+	if _, err := RunShardBench(Scale{Racks: -1, HostsPerRack: 4, Duration: 0.01, Seed: 1}, 0.5, 4); !errors.Is(err, ErrScale) {
+		t.Fatalf("negative racks accepted or wrong error: %v", err)
+	}
+	if _, err := RunShardBench(Scale{Racks: 2, HostsPerRack: 4, Duration: 0.01, Seed: 1}, 1.5, 4); err == nil {
+		t.Fatal("load 1.5 accepted")
+	}
+	if _, err := RunShardBench(Scale{Racks: 2, HostsPerRack: 4, Duration: 0.01, Seed: 1}, 0.5, 1); err == nil {
+		t.Fatal("max shards 1 accepted")
+	}
+}

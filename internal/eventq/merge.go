@@ -1,0 +1,72 @@
+package eventq
+
+// Merge drains a set of shard-local calendars into one deterministic
+// global order: events pop by (time, calendar index, schedule order), so
+// the merged sequence is a pure function of what each calendar held and
+// never of goroutine scheduling. The sharded fabric simulator uses it at
+// window barriers to route cross-shard messages: each shard's outbox is a
+// Queue, and the merge order (time, shard id, seq) is the determinism
+// contract of the whole refactor.
+//
+// Merge consumes every event in every queue. The emit callback receives
+// the source calendar's index, the event time, and the event. Queues may
+// be nil or empty; they are skipped.
+func Merge(queues []*Queue, emit func(src int, time float64, ev Event)) {
+	// k-way selection over queue heads with a small index heap keyed
+	// (head time, queue index). Each queue's internal (time, seq) FIFO
+	// order supplies the third key for free.
+	heads := make([]int, 0, len(queues))
+	var less func(a, b int) bool
+	less = func(a, b int) bool {
+		ta, _ := queues[a].PeekTime()
+		tb, _ := queues[b].PeekTime()
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heads[i], heads[parent]) {
+				break
+			}
+			heads[i], heads[parent] = heads[parent], heads[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			left := 2*i + 1
+			if left >= len(heads) {
+				return
+			}
+			smallest := left
+			if right := left + 1; right < len(heads) && less(heads[right], heads[left]) {
+				smallest = right
+			}
+			if !less(heads[smallest], heads[i]) {
+				return
+			}
+			heads[i], heads[smallest] = heads[smallest], heads[i]
+			i = smallest
+		}
+	}
+	for i, q := range queues {
+		if q != nil && q.Len() > 0 {
+			heads = append(heads, i)
+			up(len(heads) - 1)
+		}
+	}
+	for len(heads) > 0 {
+		src := heads[0]
+		ev, t, _ := queues[src].Pop()
+		emit(src, t, ev)
+		if queues[src].Len() == 0 {
+			last := len(heads) - 1
+			heads[0] = heads[last]
+			heads = heads[:last]
+		}
+		down(0)
+	}
+}

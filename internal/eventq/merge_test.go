@@ -1,0 +1,111 @@
+package eventq
+
+import (
+	"fmt"
+	"testing"
+)
+
+type mergeRec struct {
+	src  int
+	time float64
+	ev   Event
+}
+
+func drain(queues []*Queue) []mergeRec {
+	var out []mergeRec
+	Merge(queues, func(src int, t float64, ev Event) {
+		out = append(out, mergeRec{src, t, ev})
+	})
+	return out
+}
+
+func TestMergeGlobalOrder(t *testing.T) {
+	a, b, c := &Queue{}, &Queue{}, &Queue{}
+	a.Schedule(1.0, "a1")
+	a.Schedule(3.0, "a3")
+	b.Schedule(2.0, "b2")
+	b.Schedule(2.5, "b25")
+	c.Schedule(0.5, "c05")
+	got := drain([]*Queue{a, b, c})
+	want := []string{"c05", "a1", "b2", "b25", "a3"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].ev.(string) != w {
+			t.Fatalf("event %d = %v, want %s", i, got[i].ev, w)
+		}
+	}
+	for _, q := range []*Queue{a, b, c} {
+		if q.Len() != 0 {
+			t.Fatal("merge left events pending")
+		}
+	}
+}
+
+func TestMergeTieBreaksByQueueIndexThenSeq(t *testing.T) {
+	// Equal times: queue index wins first, then within a queue the
+	// schedule order (seq) is preserved.
+	q0, q1 := &Queue{}, &Queue{}
+	q1.Schedule(1.0, "q1-first")
+	q1.Schedule(1.0, "q1-second")
+	q0.Schedule(1.0, "q0-first")
+	q0.Schedule(1.0, "q0-second")
+	got := drain([]*Queue{q0, q1})
+	want := []string{"q0-first", "q0-second", "q1-first", "q1-second"}
+	for i, w := range want {
+		if got[i].ev.(string) != w {
+			t.Fatalf("event %d = %v, want %s", i, got[i].ev, w)
+		}
+	}
+	if got[0].src != 0 || got[2].src != 1 {
+		t.Fatalf("source indices wrong: %+v", got)
+	}
+}
+
+func TestMergeSkipsNilAndEmpty(t *testing.T) {
+	q := &Queue{}
+	q.Schedule(1, "only")
+	got := drain([]*Queue{nil, {}, q})
+	if len(got) != 1 || got[0].ev.(string) != "only" || got[0].src != 2 {
+		t.Fatalf("merge = %+v", got)
+	}
+	if len(drain(nil)) != 0 {
+		t.Fatal("empty merge emitted events")
+	}
+}
+
+func TestMergeDeterministicAcrossRuns(t *testing.T) {
+	build := func() []*Queue {
+		qs := make([]*Queue, 4)
+		for i := range qs {
+			qs[i] = &Queue{}
+			for j := 0; j < 50; j++ {
+				// Deliberate collisions: times repeat across queues.
+				qs[i].Schedule(float64((j*7+i*3)%10), fmt.Sprintf("q%d-%d", i, j))
+			}
+		}
+		return qs
+	}
+	first := drain(build())
+	for run := 0; run < 3; run++ {
+		again := drain(build())
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d events, want %d", run, len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d: event %d = %+v, want %+v", run, i, again[i], first[i])
+			}
+		}
+	}
+	// Verify the full ordering invariant on the merged stream.
+	for i := 1; i < len(first); i++ {
+		if first[i].time < first[i-1].time {
+			t.Fatalf("time regression at %d: %+v after %+v", i, first[i], first[i-1])
+		}
+		if first[i].time == first[i-1].time && first[i].src < first[i-1].src {
+			t.Fatalf("queue-index regression at %d: %+v after %+v", i, first[i], first[i-1])
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"testing"
+
+	"basrpt/internal/flow"
+)
+
+func TestFCTMerge(t *testing.T) {
+	a, b := NewFCT(), NewFCT()
+	a.Add(flow.ClassQuery, 0.001)
+	a.Add(flow.ClassBackground, 0.010)
+	b.Add(flow.ClassQuery, 0.003)
+	b.Add(flow.ClassQuery, 0.002)
+	a.Merge(b)
+	if got := a.Count(flow.ClassQuery); got != 3 {
+		t.Fatalf("merged query count = %d, want 3", got)
+	}
+	if got := a.Count(flow.ClassBackground); got != 1 {
+		t.Fatalf("merged background count = %d, want 1", got)
+	}
+	qs := a.Stats(flow.ClassQuery)
+	if qs.MaxMs != 3 {
+		t.Fatalf("merged query max = %g ms, want 3", qs.MaxMs)
+	}
+	// Sample order: a's samples first, then b's in recorded order.
+	st := a.StateSnapshot()
+	if len(st.Classes) != 2 {
+		t.Fatalf("snapshot classes = %d", len(st.Classes))
+	}
+	q := st.Classes[0]
+	want := []float64{0.001, 0.003, 0.002}
+	if len(q.Samples) != len(want) {
+		t.Fatalf("query samples = %v", q.Samples)
+	}
+	for i, w := range want {
+		if q.Samples[i] != w {
+			t.Fatalf("query sample %d = %g, want %g", i, q.Samples[i], w)
+		}
+	}
+}
+
+func TestFCTMergeDeterministicInCallOrder(t *testing.T) {
+	// Merging the same per-rack collectors in the same order must be
+	// byte-stable (Sum included) across repeated builds.
+	build := func() FCTState {
+		parts := make([]*FCT, 3)
+		for r := range parts {
+			parts[r] = NewFCT()
+			for j := 0; j < 10; j++ {
+				parts[r].Add(flow.ClassQuery, float64(r*17+j)*1e-4+1e-7)
+			}
+		}
+		merged := NewFCT()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		return merged.StateSnapshot()
+	}
+	a, b := build(), build()
+	if a.Classes[0].Sum != b.Classes[0].Sum || a.Classes[0].Count != b.Classes[0].Count {
+		t.Fatalf("merge not deterministic: %+v vs %+v", a.Classes[0], b.Classes[0])
+	}
+}
+
+func TestFCTMergeRejectsBounded(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bounded merge did not panic")
+		}
+	}()
+	NewFCT().Merge(NewBoundedFCT(8))
+}
+
+func TestThroughputMerge(t *testing.T) {
+	a, b := NewThroughput(0.5), NewThroughput(0.5)
+	a.AddBytes(0.1, 100)
+	b.AddBytes(0.1, 50)
+	b.AddBytes(1.4, 200) // extends past a's bucket range
+	a.Merge(b)
+	if got := a.TotalBytes(); got != 350 {
+		t.Fatalf("merged total = %g, want 350", got)
+	}
+	s := a.SeriesGbps()
+	if s.Len() != 3 {
+		t.Fatalf("merged buckets = %d, want 3", s.Len())
+	}
+	if got := s.Values[0]; got != 150*8/0.5/1e9 {
+		t.Fatalf("bucket 0 rate = %g", got)
+	}
+}
+
+func TestThroughputMergeRejectsMismatchedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bucket-width mismatch did not panic")
+		}
+	}()
+	NewThroughput(0.5).Merge(NewThroughput(0.25))
+}

@@ -133,6 +133,37 @@ func (f *FCT) Stats(class flow.Class) ClassStats {
 	return cs
 }
 
+// Merge folds another collector's completions into f, class by class in
+// the fixed Query/Background/Other order and sample by sample in other's
+// recorded order. The sharded simulator merges per-rack collectors in rack
+// order on one goroutine, so the merged aggregate (including the
+// floating-point Sum and the sample ordering the checkpoint digest hashes)
+// is a pure function of the per-rack streams, never of shard grouping.
+// Merge panics on bounded collectors: trimmed tails cannot merge exactly,
+// and the sharded path only runs unbounded.
+func (f *FCT) Merge(other *FCT) {
+	if f.cap > 0 || other.cap > 0 {
+		panic("metrics: Merge requires unbounded FCT collectors")
+	}
+	for _, c := range []flow.Class{flow.ClassQuery, flow.ClassBackground, flow.ClassOther} {
+		oa := other.agg[c]
+		if oa == nil || oa.count == 0 {
+			continue
+		}
+		a := f.agg[c]
+		if a == nil {
+			a = &classAgg{}
+			f.agg[c] = a
+		}
+		a.count += oa.count
+		a.sum += oa.sum
+		if oa.max > a.max {
+			a.max = oa.max
+		}
+		f.samples[c] = append(f.samples[c], other.samples[c]...)
+	}
+}
+
 // Classes returns the classes with at least one sample, in a fixed order.
 func (f *FCT) Classes() []flow.Class {
 	var out []flow.Class
@@ -316,6 +347,25 @@ func (m *Throughput) AddRange(t0, t1, bytes float64) {
 		m.total += part
 		t0 = edge
 	}
+}
+
+// Merge folds another meter's buckets into m bucket-by-bucket. Both
+// meters must share a bucket width (the sharded simulator configures every
+// rack cell identically); a mismatch panics as a simulator bug. Like
+// FCT.Merge, calling it in fixed rack order keeps the merged totals a pure
+// function of the per-rack meters.
+func (m *Throughput) Merge(other *Throughput) {
+	if m.bucketSeconds != other.bucketSeconds {
+		panic(fmt.Sprintf("metrics: Merge bucket width mismatch: %g vs %g",
+			m.bucketSeconds, other.bucketSeconds))
+	}
+	for len(m.buckets) < len(other.buckets) {
+		m.buckets = append(m.buckets, 0)
+	}
+	for i, b := range other.buckets {
+		m.buckets[i] += b
+	}
+	m.total += other.total
 }
 
 // TotalBytes returns the total departed volume.

@@ -255,6 +255,13 @@ func schedDescr(sc SchedulerSpec) string {
 	if sc.V != 0 {
 		knobs = append(knobs, fmt.Sprintf("V=%g", sc.V))
 	}
+	if len(sc.VSweep) > 0 {
+		var vs []string
+		for _, v := range sc.VSweep {
+			vs = append(vs, fmt.Sprintf("%g", v))
+		}
+		knobs = append(knobs, fmt.Sprintf("V swept over {%s}, one cell per value", strings.Join(vs, ", ")))
+	}
 	if sc.Threshold != 0 {
 		knobs = append(knobs, fmt.Sprintf("T=%g", sc.Threshold))
 	}

@@ -28,7 +28,7 @@ type Options struct {
 // simulation inside Run, so tasks are safe to fan across workers.
 func (s *Spec) Tasks() []runner.Task {
 	var tasks []runner.Task
-	for _, sc := range s.Schedulers {
+	for _, sc := range s.schedulerCells() {
 		sc := sc
 		for _, load := range s.Loads {
 			load := load

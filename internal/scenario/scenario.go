@@ -122,6 +122,10 @@ type SchedulerSpec struct {
 	NoiseLevel float64 `json:"noise_level,omitempty"`
 	Rounds     int     `json:"rounds,omitempty"`
 	MaxPorts   int     `json:"max_ports,omitempty"`
+	// VSweep unrolls this entry into one grid cell per V value, labeled
+	// "<label>-v<V>" — the declarative form of the paper's Figures 7/8
+	// tradeoff sweep. Mutually exclusive with V.
+	VSweep []float64 `json:"v_sweep,omitempty"`
 }
 
 // FaultSpec configures the deterministic fault schedule injected into
@@ -255,17 +259,34 @@ func (s *Spec) Validate() error {
 	for _, n := range sched.Names() {
 		validNames[n] = true
 	}
-	labels := map[string]bool{}
 	for i, sc := range s.Schedulers {
 		if !validNames[sc.Name] {
 			return specErrf(fmt.Sprintf("schedulers[%d].name", i),
 				"unknown scheduler %q (valid: %v)", sc.Name, sched.Names())
 		}
-		if labels[sc.CellLabel()] {
-			return specErrf(fmt.Sprintf("schedulers[%d]", i),
-				"duplicate cell label %q (set a distinct label)", sc.CellLabel())
+		if len(sc.VSweep) > 0 {
+			if sc.V != 0 {
+				return specErrf(fmt.Sprintf("schedulers[%d].v_sweep", i),
+					"mutually exclusive with v (the sweep sets V per cell)")
+			}
+			for j, v := range sc.VSweep {
+				if v <= 0 {
+					return specErrf(fmt.Sprintf("schedulers[%d].v_sweep[%d]", i, j), "%g <= 0", v)
+				}
+			}
 		}
-		labels[sc.CellLabel()] = true
+	}
+	// Duplicate labels are checked over the EXPANDED axis, so a v_sweep
+	// entry cannot collide with an explicit "<label>-v<V>" cell either.
+	labels := map[string]bool{}
+	for i, sc := range s.Schedulers {
+		for _, e := range sc.expand() {
+			if labels[e.CellLabel()] {
+				return specErrf(fmt.Sprintf("schedulers[%d]", i),
+					"duplicate cell label %q (set a distinct label)", e.CellLabel())
+			}
+			labels[e.CellLabel()] = true
+		}
 	}
 	if s.Faults != nil {
 		if s.Faults.LinkFaults < 0 || s.Faults.Outages < 0 {
@@ -330,13 +351,43 @@ func (sc SchedulerSpec) CellLabel() string {
 	return sc.Name
 }
 
+// expand returns the grid entries this spec line contributes: itself
+// when there is no sweep, else one entry per swept V value with the
+// label "<label>-v<V>".
+func (sc SchedulerSpec) expand() []SchedulerSpec {
+	if len(sc.VSweep) == 0 {
+		return []SchedulerSpec{sc}
+	}
+	out := make([]SchedulerSpec, 0, len(sc.VSweep))
+	for _, v := range sc.VSweep {
+		e := sc
+		e.VSweep = nil
+		e.V = v
+		e.Label = fmt.Sprintf("%s-v%g", sc.CellLabel(), v)
+		out = append(out, e)
+	}
+	return out
+}
+
+// schedulerCells is the expanded scheduler axis of the grid: v_sweep
+// entries unroll into one cell per V value, everything else passes
+// through unchanged.
+func (s *Spec) schedulerCells() []SchedulerSpec {
+	var cells []SchedulerSpec
+	for _, sc := range s.Schedulers {
+		cells = append(cells, sc.expand()...)
+	}
+	return cells
+}
+
 // CellNames returns the grid's cell names in execution order
 // (scheduler-major, load-minor): "<label>" for a single-load spec,
 // "<label>@<P>%" per load point of a sweep, with P the load × 100
-// rendered by %g.
+// rendered by %g. v_sweep entries contribute one "<label>-v<V>" cell
+// per swept value.
 func (s *Spec) CellNames() []string {
 	var names []string
-	for _, sc := range s.Schedulers {
+	for _, sc := range s.schedulerCells() {
 		for _, load := range s.Loads {
 			names = append(names, s.cellName(sc, load))
 		}

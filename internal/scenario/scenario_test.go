@@ -207,6 +207,75 @@ func TestSchedulerLabelOverride(t *testing.T) {
 	}
 }
 
+// TestVSweepExpansion: a v_sweep entry unrolls into one labeled cell per
+// V value, usable in check references like any explicit cell.
+func TestVSweepExpansion(t *testing.T) {
+	data := mutate(t, func(m map[string]any) {
+		m["schedulers"] = []any{
+			map[string]any{"name": "srpt"},
+			map[string]any{"name": "fast-basrpt", "v_sweep": []any{1000, 2500, 10000}},
+		}
+		m["checks"] = []any{map[string]any{
+			"name": "c", "left": "fast-basrpt-v1000/gbps", "op": "ge", "right": "fast-basrpt-v10000/gbps"}}
+	})
+	s := mustParse(t, string(data))
+	want := []string{"srpt", "fast-basrpt-v1000", "fast-basrpt-v2500", "fast-basrpt-v10000"}
+	got := s.CellNames()
+	if len(got) != len(want) {
+		t.Fatalf("CellNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CellNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The expanded entries carry the swept V into the scheduler options.
+	cells := s.schedulerCells()
+	if len(cells) != 4 || cells[1].V != 1000 || cells[3].V != 10000 || len(cells[1].VSweep) != 0 {
+		t.Fatalf("expanded cells wrong: %+v", cells)
+	}
+}
+
+func TestVSweepValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched []any
+		field string
+	}{
+		{"v and v_sweep together", []any{
+			map[string]any{"name": "fast-basrpt", "v": 2500, "v_sweep": []any{1000, 2500}},
+		}, "schedulers[0].v_sweep"},
+		{"nonpositive swept v", []any{
+			map[string]any{"name": "fast-basrpt", "v_sweep": []any{1000, 0}},
+		}, "schedulers[0].v_sweep[1]"},
+		{"duplicate swept label", []any{
+			map[string]any{"name": "fast-basrpt", "v_sweep": []any{1000, 1000}},
+		}, "schedulers[0]"},
+		{"sweep collides with explicit label", []any{
+			map[string]any{"name": "fast-basrpt", "label": "fast-basrpt-v1000", "v": 1000},
+			map[string]any{"name": "fast-basrpt", "v_sweep": []any{1000}},
+		}, "schedulers[1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := mutate(t, func(m map[string]any) {
+				m["schedulers"] = tc.sched
+				m["checks"] = []any{map[string]any{"name": "c", "left": "srpt/gbps", "op": "ge", "value": 0}}
+			})
+			_, err := ParseSpec(data)
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("not a *SpecError: %v", err)
+			}
+			// The base check references srpt/gbps, which these scheduler
+			// mutations removed — so a label-phase error must win first.
+			if se.Field != tc.field {
+				t.Fatalf("SpecError.Field = %q, want %q (err: %v)", se.Field, tc.field, err)
+			}
+		})
+	}
+}
+
 func TestSplitMetricRef(t *testing.T) {
 	cases := []struct {
 		ref, cell, metric string

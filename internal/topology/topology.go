@@ -23,7 +23,19 @@ type Config struct {
 	HostLinkGbps float64
 	// CoreLinkGbps is the ToR-to-core link capacity (per link).
 	CoreLinkGbps float64
+	// CoreHopLatencyS is the one-way ToR→core→ToR propagation latency in
+	// seconds for traffic crossing racks. Intra-rack traffic pays no hop.
+	// Zero means "unset" and resolves to DefaultCoreHopLatencyS; it is the
+	// conservative-PDES lookahead of the sharded simulator: a cross-rack
+	// arrival generated at time t cannot affect another rack before t +
+	// CoreHopLatencyS.
+	CoreHopLatencyS float64
 }
+
+// DefaultCoreHopLatencyS is the inter-rack hop latency used when a Config
+// leaves CoreHopLatencyS zero: 25 µs, a typical intra-datacenter ToR-to-ToR
+// RTT/2 (propagation plus two switch traversals).
+const DefaultCoreHopLatencyS = 25e-6
 
 // Paper returns the evaluation topology of Section V-A: 144 hosts in 12
 // racks of 12, 3 cores, 10 Gbps edge links and 40 Gbps core links.
@@ -57,6 +69,11 @@ func Scaled(racks, hostsPerRack int) Config {
 // demand, violating the big-switch abstraction.
 var ErrBlocking = errors.New("topology: fabric is not full-bisection")
 
+// ErrDimension reports a Config with zero or negative structural
+// dimensions (racks, hosts per rack, cores) or link capacities. New wraps
+// it so callers can detect invalid sizing with errors.Is.
+var ErrDimension = errors.New("topology: invalid dimension")
+
 // Topology is a validated fabric instance.
 type Topology struct {
 	cfg Config
@@ -65,10 +82,16 @@ type Topology struct {
 // New validates the configuration and builds a topology.
 func New(cfg Config) (*Topology, error) {
 	if cfg.Racks <= 0 || cfg.HostsPerRack <= 0 || cfg.Cores <= 0 {
-		return nil, fmt.Errorf("topology: non-positive dimension in %+v", cfg)
+		return nil, fmt.Errorf("%w: non-positive count in %+v", ErrDimension, cfg)
 	}
 	if cfg.HostLinkGbps <= 0 || cfg.CoreLinkGbps <= 0 {
-		return nil, fmt.Errorf("topology: non-positive link capacity in %+v", cfg)
+		return nil, fmt.Errorf("%w: non-positive link capacity in %+v", ErrDimension, cfg)
+	}
+	if cfg.CoreHopLatencyS < 0 {
+		return nil, fmt.Errorf("%w: negative core-hop latency %g", ErrDimension, cfg.CoreHopLatencyS)
+	}
+	if cfg.CoreHopLatencyS == 0 {
+		cfg.CoreHopLatencyS = DefaultCoreHopLatencyS
 	}
 	return &Topology{cfg: cfg}, nil
 }
@@ -138,4 +161,43 @@ func (t *Topology) ValidateNonBlocking() error {
 			ErrBlocking, over, t.cfg.HostsPerRack, t.cfg.HostLinkGbps, t.cfg.Cores, t.cfg.CoreLinkGbps)
 	}
 	return nil
+}
+
+// CoreHopLatency returns the one-way inter-rack propagation latency in
+// seconds (CoreHopLatencyS resolved against its default). It is the
+// conservative lookahead of the sharded simulator: no event generated in a
+// rack at time t can reach another rack before t + CoreHopLatency.
+func (t *Topology) CoreHopLatency() float64 { return t.cfg.CoreHopLatencyS }
+
+// RackLatency returns the propagation latency in seconds between two racks:
+// zero within a rack, CoreHopLatency across racks. In the multi-rooted tree
+// every ToR reaches every other ToR in exactly one core hop, so the
+// inter-rack latency matrix is uniform.
+func (t *Topology) RackLatency(a, b int) float64 {
+	t.checkRack(a)
+	t.checkRack(b)
+	if a == b {
+		return 0
+	}
+	return t.cfg.CoreHopLatencyS
+}
+
+// RackNeighbors returns the racks adjacent to the given rack through the
+// core layer — all other racks, since every ToR connects to every core
+// switch. The slice is freshly allocated and sorted ascending.
+func (t *Topology) RackNeighbors(rack int) []int {
+	t.checkRack(rack)
+	out := make([]int, 0, t.cfg.Racks-1)
+	for r := 0; r < t.cfg.Racks; r++ {
+		if r != rack {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (t *Topology) checkRack(rack int) {
+	if rack < 0 || rack >= t.cfg.Racks {
+		panic(fmt.Sprintf("topology: rack %d out of range [0,%d)", rack, t.cfg.Racks))
+	}
 }

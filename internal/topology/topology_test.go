@@ -74,11 +74,71 @@ func TestNewValidation(t *testing.T) {
 		{Racks: 1, HostsPerRack: 1, Cores: 0, HostLinkGbps: 1, CoreLinkGbps: 1},
 		{Racks: 1, HostsPerRack: 1, Cores: 1, HostLinkGbps: 0, CoreLinkGbps: 1},
 		{Racks: -1, HostsPerRack: 1, Cores: 1, HostLinkGbps: 1, CoreLinkGbps: 1},
+		{Racks: 1, HostsPerRack: 1, Cores: 1, HostLinkGbps: 1, CoreLinkGbps: 1, CoreHopLatencyS: -1e-6},
 	}
 	for i, cfg := range bad {
-		if _, err := New(cfg); err == nil {
+		_, err := New(cfg)
+		if err == nil {
 			t.Fatalf("config %d accepted: %+v", i, cfg)
 		}
+		if !errors.Is(err, ErrDimension) {
+			t.Fatalf("config %d: error %v is not ErrDimension", i, err)
+		}
+	}
+}
+
+func TestCoreHopLatency(t *testing.T) {
+	top := MustNew(Paper())
+	if got := top.CoreHopLatency(); got != DefaultCoreHopLatencyS {
+		t.Fatalf("CoreHopLatency = %g, want default %g", got, DefaultCoreHopLatencyS)
+	}
+	if got := top.Config().CoreHopLatencyS; got != DefaultCoreHopLatencyS {
+		t.Fatalf("Config().CoreHopLatencyS = %g, want resolved default", got)
+	}
+	cfg := Paper()
+	cfg.CoreHopLatencyS = 5e-6
+	top = MustNew(cfg)
+	if got := top.CoreHopLatency(); got != 5e-6 {
+		t.Fatalf("CoreHopLatency = %g, want 5e-6", got)
+	}
+	if got := top.RackLatency(3, 3); got != 0 {
+		t.Fatalf("RackLatency same rack = %g, want 0", got)
+	}
+	if got := top.RackLatency(0, 11); got != 5e-6 {
+		t.Fatalf("RackLatency cross rack = %g, want 5e-6", got)
+	}
+}
+
+func TestRackNeighbors(t *testing.T) {
+	top := MustNew(Scaled(4, 2))
+	got := top.RackNeighbors(2)
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("RackNeighbors(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RackNeighbors(2) = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RackNeighbors(-1) did not panic")
+		}
+	}()
+	top.RackNeighbors(-1)
+}
+
+func TestScaledLargeHostCounts(t *testing.T) {
+	// The sharded simulator targets 4096+ hosts; Scaled must stay
+	// non-blocking and well-formed at that size.
+	cfg := Scaled(344, 12)
+	top := MustNew(cfg)
+	if got := top.NumHosts(); got != 4128 {
+		t.Fatalf("NumHosts = %d, want 4128", got)
+	}
+	if err := top.ValidateNonBlocking(); err != nil {
+		t.Fatalf("4k-host Scaled blocking: %v", err)
 	}
 }
 

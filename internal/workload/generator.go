@@ -72,6 +72,15 @@ type MixedConfig struct {
 	Duration float64
 	// Seed makes the stream reproducible.
 	Seed uint64
+	// SrcLo and SrcHi restrict the generated sources to hosts in
+	// [SrcLo, SrcHi); both zero means every host. Destination draws are
+	// unaffected (queries still fan out fabric-wide, background stays
+	// rack-local). The sharded simulator gives each rack cell its own
+	// Mixed restricted to the rack's hosts with a rack-derived seed, so
+	// the union of per-rack streams is fixed by the root seed alone and
+	// independent of how racks are grouped into shards.
+	SrcLo int
+	SrcHi int
 }
 
 // DefaultQueryByteFraction is the query/background byte split used by the
@@ -102,6 +111,8 @@ type Mixed struct {
 	queue    eventq.Queue
 	queryGap float64 // mean seconds between queries per host (0: disabled)
 	bgGap    float64 // mean seconds between background flows per host
+	srcLo    int     // generated sources span [srcLo, srcHi)
+	srcHi    int
 
 	// events holds one pre-boxed streamEvent per (host, class) stream,
 	// indexed 2*host (+1 for background). The payload never changes across
@@ -148,11 +159,20 @@ func NewMixed(cfg MixedConfig) (*Mixed, error) {
 		// seeds generate identical streams. Reject it instead.
 		return nil, fmt.Errorf("%w: seed must be nonzero", ErrBadConfig)
 	}
+	if cfg.SrcLo == 0 && cfg.SrcHi == 0 {
+		cfg.SrcHi = cfg.Topology.NumHosts()
+	}
+	if cfg.SrcLo < 0 || cfg.SrcHi > cfg.Topology.NumHosts() || cfg.SrcLo >= cfg.SrcHi {
+		return nil, fmt.Errorf("%w: source range [%d, %d) outside [0, %d)",
+			ErrBadConfig, cfg.SrcLo, cfg.SrcHi, cfg.Topology.NumHosts())
+	}
 
 	m := &Mixed{
-		cfg:  cfg,
-		topo: cfg.Topology,
-		rng:  stats.NewRNG(cfg.Seed),
+		cfg:   cfg,
+		topo:  cfg.Topology,
+		rng:   stats.NewRNG(cfg.Seed),
+		srcLo: cfg.SrcLo,
+		srcHi: cfg.SrcHi,
 	}
 
 	// Bytes per second each host should offer.
@@ -170,21 +190,23 @@ func NewMixed(cfg MixedConfig) (*Mixed, error) {
 		m.bgGap = 1 / rate
 	}
 
-	// Prime one pending event per active stream per host, boxing each
-	// stream's event exactly once. At most every stream is pending at once,
-	// so reserving that population keeps the calendar allocation-free for
-	// the rest of the run.
-	numHosts := cfg.Topology.NumHosts()
-	m.events = make([]eventq.Event, 2*numHosts)
-	m.queue.Reserve(2 * numHosts)
-	for host := 0; host < numHosts; host++ {
-		m.events[2*host] = streamEvent{host: host, class: flow.ClassQuery}
-		m.events[2*host+1] = streamEvent{host: host, class: flow.ClassBackground}
+	// Prime one pending event per active stream per in-range host, boxing
+	// each stream's event exactly once. At most every stream is pending at
+	// once, so reserving that population keeps the calendar allocation-free
+	// for the rest of the run. The events slice is indexed relative to
+	// srcLo so a rack-restricted generator stays O(rack), not O(fabric).
+	span := m.srcHi - m.srcLo
+	m.events = make([]eventq.Event, 2*span)
+	m.queue.Reserve(2 * span)
+	for host := m.srcLo; host < m.srcHi; host++ {
+		i := host - m.srcLo
+		m.events[2*i] = streamEvent{host: host, class: flow.ClassQuery}
+		m.events[2*i+1] = streamEvent{host: host, class: flow.ClassBackground}
 		if m.queryGap > 0 {
-			m.queue.Schedule(m.rng.Exp(1/m.queryGap), m.events[2*host])
+			m.queue.Schedule(m.rng.Exp(1/m.queryGap), m.events[2*i])
 		}
 		if m.bgGap > 0 {
-			m.queue.Schedule(m.rng.Exp(1/m.bgGap), m.events[2*host+1])
+			m.queue.Schedule(m.rng.Exp(1/m.bgGap), m.events[2*i+1])
 		}
 	}
 	return m, nil
@@ -203,15 +225,16 @@ func (m *Mixed) Next() (Arrival, bool) {
 			continue
 		}
 		a := Arrival{Time: t, Src: se.host, Class: se.class}
+		i := se.host - m.srcLo
 		switch se.class {
 		case flow.ClassQuery:
 			a.Dst = m.pickRemoteUniform(se.host)
 			a.Size = QueryBytes
-			m.queue.Schedule(t+m.rng.Exp(1/m.queryGap), m.events[2*se.host])
+			m.queue.Schedule(t+m.rng.Exp(1/m.queryGap), m.events[2*i])
 		case flow.ClassBackground:
 			a.Dst = m.pickRackLocal(se.host)
 			a.Size = m.cfg.BackgroundSizes.Sample(m.rng)
-			m.queue.Schedule(t+m.rng.Exp(1/m.bgGap), m.events[2*se.host+1])
+			m.queue.Schedule(t+m.rng.Exp(1/m.bgGap), m.events[2*i+1])
 		default:
 			continue
 		}
@@ -263,7 +286,9 @@ func (m *Mixed) RateMatrix() [][]float64 {
 	if m.bgGap > 0 {
 		bgRate = m.cfg.BackgroundSizes.Mean() / m.bgGap
 	}
-	for i := 0; i < n; i++ {
+	// Only in-range sources generate traffic; a rack-restricted generator
+	// has zero rows outside [srcLo, srcHi).
+	for i := m.srcLo; i < m.srcHi; i++ {
 		if queryRate > 0 {
 			per := queryRate / float64(n-1) / capacityBps
 			for j := 0; j < n; j++ {

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMixedSourceRangeValidation(t *testing.T) {
+	topo := testTopo(t, 2, 4)
+	bad := []MixedConfig{
+		{Topology: topo, Load: 0.5, Duration: 1, Seed: 1, SrcLo: -1, SrcHi: 4},
+		{Topology: topo, Load: 0.5, Duration: 1, Seed: 1, SrcLo: 4, SrcHi: 4},
+		{Topology: topo, Load: 0.5, Duration: 1, Seed: 1, SrcLo: 6, SrcHi: 4},
+		{Topology: topo, Load: 0.5, Duration: 1, Seed: 1, SrcLo: 0, SrcHi: 9},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMixed(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %d accepted or wrong error: %v", i, err)
+		}
+	}
+}
+
+func TestMixedSourceRangeRestrictsSources(t *testing.T) {
+	topo := testTopo(t, 3, 4) // hosts 0..11, rack 1 = hosts 4..7
+	g, err := NewMixed(MixedConfig{
+		Topology: topo, Load: 0.6, Duration: 1, Seed: 3,
+		QueryByteFraction: DefaultQueryByteFraction,
+		SrcLo:             4, SrcHi: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		if a.Src < 4 || a.Src >= 8 {
+			t.Fatalf("source %d outside restricted range [4, 8)", a.Src)
+		}
+	}
+	if n == 0 {
+		t.Fatal("restricted generator produced no arrivals")
+	}
+}
+
+func TestMixedSourceRangeMatchesSeedOnly(t *testing.T) {
+	// Two generators with the same seed and range produce identical
+	// streams; the full-fabric stream differs (one RNG vs many).
+	topo := testTopo(t, 3, 4)
+	mk := func(lo, hi int, seed uint64) []Arrival {
+		g, err := NewMixed(MixedConfig{
+			Topology: topo, Load: 0.6, Duration: 0.5, Seed: seed,
+			QueryByteFraction: DefaultQueryByteFraction,
+			SrcLo:             lo, SrcHi: hi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Arrival
+		for {
+			a, ok := g.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, a)
+		}
+	}
+	a := mk(4, 8, 11)
+	b := mk(4, 8, 11)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("stream lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixedSourceRangeRateMatrixRows(t *testing.T) {
+	topo := testTopo(t, 3, 4)
+	g, err := NewMixed(MixedConfig{
+		Topology: topo, Load: 0.6, Duration: 1, Seed: 3,
+		QueryByteFraction: DefaultQueryByteFraction,
+		SrcLo:             4, SrcHi: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := g.RateMatrix()
+	for i, row := range lambda {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if i >= 4 && i < 8 {
+			if sum <= 0 {
+				t.Fatalf("in-range row %d has zero rate", i)
+			}
+		} else if sum != 0 {
+			t.Fatalf("out-of-range row %d has rate %g", i, sum)
+		}
+	}
+}
+
+func TestMixedSourceRangeCheckpointRoundTrip(t *testing.T) {
+	topo := testTopo(t, 3, 4)
+	cfg := MixedConfig{
+		Topology: topo, Load: 0.6, Duration: 1, Seed: 5,
+		QueryByteFraction: DefaultQueryByteFraction,
+		SrcLo:             4, SrcHi: 8,
+	}
+	g, err := NewMixed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatal("stream exhausted during warmup")
+		}
+	}
+	st, err := g.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Arrival
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		want = append(want, a)
+	}
+	fresh, err := NewMixed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreCheckpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got, ok := fresh.Next()
+		if !ok || got != w {
+			t.Fatalf("resumed arrival %d = (%+v, %v), want %+v", i, got, ok, w)
+		}
+	}
+	if _, ok := fresh.Next(); ok {
+		t.Fatal("resumed stream longer than original")
+	}
+	// A snapshot from a different range must be rejected.
+	other, err := NewMixed(MixedConfig{
+		Topology: topo, Load: 0.6, Duration: 1, Seed: 5,
+		QueryByteFraction: DefaultQueryByteFraction,
+		SrcLo:             0, SrcHi: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreCheckpoint(st); !errors.Is(err, ErrBadState) {
+		t.Fatalf("cross-range restore accepted: %v", err)
+	}
+}

@@ -125,10 +125,11 @@ func (m *Mixed) RestoreCheckpoint(st *GeneratorState) error {
 		default:
 			return fmt.Errorf("%w: stream event class %d", ErrBadState, es.Class)
 		}
-		if es.Host < 0 || 2*es.Host+off >= len(m.events) {
-			return fmt.Errorf("%w: stream event host %d outside topology", ErrBadState, es.Host)
+		if es.Host < m.srcLo || es.Host >= m.srcHi {
+			return fmt.Errorf("%w: stream event host %d outside source range [%d, %d)",
+				ErrBadState, es.Host, m.srcLo, m.srcHi)
 		}
-		entries[i] = eventq.EntryState{Time: es.Time, Seq: es.Seq, Event: m.events[2*es.Host+off]}
+		entries[i] = eventq.EntryState{Time: es.Time, Seq: es.Seq, Event: m.events[2*(es.Host-m.srcLo)+off]}
 	}
 	if err := m.queue.RestoreState(st.QueueSeq, st.QueueHighWater, entries); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadState, err)
