@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc bench-shard trace-smoke soak cover experiments stability fuzz scenarios doccheck clean
+.PHONY: all build test race vet bench bench-smoke bench-sched bench-obs bench-alloc bench-shard trace-smoke ops-smoke soak cover experiments stability fuzz scenarios doccheck clean
 
 all: build test
 
@@ -49,10 +49,12 @@ SCHEDBENCH_DURATION ?= 0.02
 # assert byte-identical work, measure the disabled-path probe cost against
 # the per-decision scheduling cost (budget: 2%), and verify trace
 # byte-determinism — emitting the report to BENCH_obs.json (uploaded as a
-# CI artifact alongside BENCH_sched.json).
+# CI artifact alongside BENCH_sched.json). The run must stay within the
+# checked-in bench_obs_budget.json, or the target fails.
 bench-obs:
 	$(GO) test -run NONE -bench 'BenchmarkObs' -benchmem ./internal/obs/
 	$(GO) run ./cmd/basrptbench -obsbench BENCH_obs.json \
+		-obsbudget bench_obs_budget.json \
 		-racks 4 -hosts 6 -duration $(OBSBENCH_DURATION)
 
 # Simulated horizon of the bench-obs fabric pairs (four runs total).
@@ -100,6 +102,13 @@ trace-smoke:
 	cmp trace_smoke_a.jsonl trace_smoke_b.jsonl
 	@echo "trace determinism OK: $$(wc -c < trace_smoke_a.jsonl) bytes, byte-identical across runs"
 
+# Live-ops smoke: start a sharded run with -ops, poll /metrics and
+# /progress mid-flight and assert they are well-formed, then validate the
+# -timeline Chrome trace_event export. Artifacts land in ops_smoke_out/
+# (kept on failure for the CI upload).
+ops-smoke:
+	bash scripts/ops_smoke.sh
+
 # Checkpoint/restore soak: halt runs at a mid-run checkpoint, resume in a
 # fresh process, and require byte-identical summaries and traces versus
 # the uninterrupted runs — per seed, with and without fault injection.
@@ -146,5 +155,5 @@ clean:
 	$(GO) clean ./...
 	rm -rf internal/matching/testdata internal/stats/testdata internal/faults/testdata \
 		internal/trace/testdata internal/checkpoint/testdata internal/scenario/testdata \
-		soak_out scenario_out
+		soak_out scenario_out ops_smoke_out
 	rm -f BENCH_runner.json BENCH_sched.json BENCH_obs.json BENCH_alloc.json BENCH_shard.json trace_smoke_a.jsonl trace_smoke_b.jsonl

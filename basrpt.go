@@ -40,6 +40,7 @@ import (
 	"basrpt/internal/flow"
 	"basrpt/internal/metrics"
 	"basrpt/internal/obs"
+	"basrpt/internal/ops"
 	"basrpt/internal/runner"
 	"basrpt/internal/sched"
 	"basrpt/internal/stats"
@@ -191,6 +192,17 @@ type (
 	// one cell per rack, conservative-lookahead windows, two determinism
 	// families keyed on Shards (see ARCHITECTURE.md "Sharded fabric").
 	ShardConfig = fabricsim.ShardConfig
+	// ShardImbalance is the decomposed engine's post-run wall-clock
+	// attribution report (FabricResult.Imbalance): per-cell busy and
+	// barrier-wait time, slowest-cell attribution, and the skew ratio.
+	// Wall-clock plane only — never part of deterministic digests.
+	ShardImbalance = fabricsim.ShardImbalance
+	// RunProgress is the centralized engine's sample-tick heartbeat
+	// payload (FabricConfig.OnProgress / ShardConfig.OnProgress).
+	RunProgress = fabricsim.RunProgress
+	// ShardProgress is the decomposed engine's per-window heartbeat
+	// payload (ShardConfig.OnWindow).
+	ShardProgress = fabricsim.ShardProgress
 )
 
 // NewFabricSim validates the configuration and prepares a run.
@@ -317,6 +329,10 @@ type (
 	// ObsBenchResult quantifies the observability layer's cost (the
 	// BENCH_obs.json shape) and trace determinism.
 	ObsBenchResult = core.ObsBenchResult
+	// ObsBudget is the checked-in observability ceiling the CI gate
+	// enforces over BENCH_obs.json: the maximum disabled-probe overhead
+	// percentage plus a trace-determinism requirement.
+	ObsBudget = core.ObsBudget
 	// AllocBenchResult reports the hot path's steady-state allocator
 	// pressure (the BENCH_alloc.json shape): bytes/allocs per decision
 	// and GC cycles per million decisions, pooled vs non-pooled.
@@ -362,7 +378,25 @@ type (
 	TraceHeader = trace.TraceHeader
 	// TraceWriter streams events as JSONL; attach via ObsOptions.Sink.
 	TraceWriter = trace.EventWriter
+	// Timeline collects wall-clock execution spans from a decomposed
+	// sharded run (ShardConfig.Timeline) for Chrome trace_event export.
+	Timeline = obs.Timeline
+	// TimelineSpan is one wall-clock execution span on a timeline track.
+	TimelineSpan = obs.TimelineSpan
 )
+
+// TimelineCoordinator is the TimelineSpan.Track value for coordinator
+// work (fold, route) as opposed to per-cell work.
+const TimelineCoordinator = obs.TimelineCoordinator
+
+// NewTimeline returns an empty span container; attach it via
+// ShardConfig.Timeline and export with Timeline.WriteChromeTrace.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// IsWallClockMetric reports whether an instrument name belongs to the
+// wall-clock observability plane ("wall." or "runtime." prefixes), which
+// deterministic digests and traces exclude.
+func IsWallClockMetric(name string) bool { return obs.IsWallClock(name) }
 
 // TraceSchema identifies the JSONL trace format this build writes and
 // ReadTrace accepts.
@@ -406,6 +440,13 @@ type (
 	MultiTask = runner.Task
 	// MultiSample is the named metric values one task run produced.
 	MultiSample = runner.Sample
+	// MultiProgress is one lifecycle notification from the multi-seed
+	// runner (MultiConfig.OnProgress): unit identity, phase, and overall
+	// completion count.
+	MultiProgress = runner.Progress
+	// MultiPhase labels where a unit is in its lifecycle (start, resume,
+	// done, failed).
+	MultiPhase = runner.Phase
 )
 
 // SeedRun wraps a bare primary seed in a Run context.
@@ -429,6 +470,27 @@ func RunTasks(cfg MultiConfig, tasks []MultiTask) (*MultiAggregate, error) {
 // DeriveSeed maps (root, stream) to the deterministic per-replicate seed
 // the multi-seed runner uses.
 func DeriveSeed(root uint64, stream int) uint64 { return runner.DeriveSeed(root, stream) }
+
+// Live ops endpoint (see internal/ops): the wall-clock plane's network
+// face — Prometheus /metrics, /progress JSON, and pprof over a plain
+// HTTP listener. Publish-only: the simulation pushes copies in, nothing
+// is ever read back, so determinism is untouched.
+type (
+	// OpsServer serves /metrics, /progress, and /debug/pprof for a
+	// running simulation or experiment sweep.
+	OpsServer = ops.Server
+	// OpsRunState is the live position of a single fabric run as
+	// published to an OpsServer.
+	OpsRunState = ops.RunState
+	// OpsSeedState is one experiment unit's lifecycle state as exposed
+	// by the /progress endpoint.
+	OpsSeedState = ops.SeedState
+)
+
+// NewOpsServer starts the ops HTTP listener on addr (use "127.0.0.1:0"
+// for an ephemeral port; OpsServer.URL reports the bound address). Close
+// it when the run finishes.
+func NewOpsServer(addr string) (*OpsServer, error) { return ops.NewServer(addr) }
 
 // Predefined experiment scales.
 var (

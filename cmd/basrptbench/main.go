@@ -90,6 +90,7 @@ func run(args []string, w io.Writer) error {
 		benchJSON = fs.String("benchjson", "", "multi-seed only: also rerun serially and write a runs/sec + speedup report to this path")
 		schedJSON = fs.String("schedbench", "", "instead of experiments: benchmark the incremental scheduling core against the from-scratch baseline at this scale (load 0.8) and write decisions/sec + speedup to this path")
 		obsJSON   = fs.String("obsbench", "", "instead of experiments: measure observability overhead + trace determinism at this scale (load 0.8) and write the report to this path")
+		obsBudg   = fs.String("obsbudget", "", "with -obsbench: JSON budget file (max_disabled_overhead_pct, require_deterministic); exceeding it fails the run")
 		allocJSON = fs.String("allocbench", "", "instead of experiments: measure steady-state allocations/GC per decision (pooled vs non-pooled byte-identical runs, load 0.8) and write the report to this path")
 		allocBudg = fs.String("allocbudget", "", "with -allocbench: JSON budget file (max_allocs_per_decision, max_alloc_bytes_per_decision); exceeding it fails the run")
 		shardJSON = fs.String("shardbench", "", "instead of experiments: benchmark the sharded fabric engine across shard counts at this scale (load 0.5) and write decisions/sec + speedup to this path")
@@ -167,7 +168,7 @@ func run(args []string, w io.Writer) error {
 		if *seeds > 1 {
 			return fmt.Errorf("-obsbench runs single-seed pairs (drop -seeds)")
 		}
-		return runObsBench(w, scale, *obsJSON)
+		return runObsBench(w, scale, *obsJSON, *obsBudg)
 	}
 	if *allocJSON != "" {
 		if *seeds > 1 {
@@ -519,12 +520,14 @@ func runSchedBench(w io.Writer, scale basrpt.Scale, path string) error {
 type obsReport struct {
 	GOMAXPROCS int                    `json:"gomaxprocs"`
 	Scale      string                 `json:"scale"`
+	Budget     *basrpt.ObsBudget      `json:"budget,omitempty"`
 	Result     *basrpt.ObsBenchResult `json:"result"`
 }
 
 // runObsBench is the -obsbench path: overhead + determinism measurement,
-// rendered as a table and written as JSON.
-func runObsBench(w io.Writer, scale basrpt.Scale, path string) error {
+// rendered as a table, written as JSON, and checked against the budget
+// file when one is given (the CI observability gate).
+func runObsBench(w io.Writer, scale basrpt.Scale, path, budgetPath string) error {
 	start := time.Now()
 	res, err := basrpt.RunObsBench(scale, 0)
 	if err != nil {
@@ -532,13 +535,27 @@ func runObsBench(w io.Writer, scale basrpt.Scale, path string) error {
 	}
 	fmt.Fprintln(w, res.Render())
 	fmt.Fprintf(w, "[obsbench took %s]\n", time.Since(start).Round(time.Millisecond))
-	if !res.Deterministic {
-		return fmt.Errorf("obsbench: traced fixed-seed runs were not byte-identical")
-	}
 	report := obsReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      scale.String(),
 		Result:     res,
+	}
+	var budgetErr error
+	if budgetPath != "" {
+		raw, err := os.ReadFile(budgetPath)
+		if err != nil {
+			return fmt.Errorf("obsbench: budget: %w", err)
+		}
+		var budget basrpt.ObsBudget
+		if err := json.Unmarshal(raw, &budget); err != nil {
+			return fmt.Errorf("obsbench: budget %s: %w", budgetPath, err)
+		}
+		report.Budget = &budget
+		// Write the report even on a violation, so CI archives the numbers
+		// that failed the gate.
+		budgetErr = res.CheckBudget(budget)
+	} else if !res.Deterministic {
+		budgetErr = fmt.Errorf("traced fixed-seed runs were not byte-identical")
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -548,6 +565,13 @@ func runObsBench(w io.Writer, scale basrpt.Scale, path string) error {
 		return fmt.Errorf("obsbench: %w", err)
 	}
 	fmt.Fprintf(w, "[obs report written to %s]\n", path)
+	if budgetErr != nil {
+		return fmt.Errorf("obsbench: %w", budgetErr)
+	}
+	if budgetPath != "" {
+		fmt.Fprintf(w, "[obs budget OK: <= %.2f%% disabled overhead, determinism required: %v]\n",
+			report.Budget.MaxDisabledOverheadPct, report.Budget.RequireDeterministic)
+	}
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 
+	"basrpt/internal/ops"
 	"basrpt/internal/runner"
 	"basrpt/internal/scenario"
 	"basrpt/internal/trace"
@@ -49,9 +50,21 @@ func run(args []string, w io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS); findings are byte-identical for any value")
 		outDir   = fs.String("out", "scenario_out", "with -check: directory receiving regenerated findings on mismatch")
 		progress = fs.Bool("progress", false, "print per-unit progress lines (bracketed; completion order is nondeterministic)")
+		opsAddr  = fs.String("ops", "", "serve a live ops endpoint on this address while scenarios run: Prometheus /metrics, /progress JSON (per-unit lifecycle), /debug/pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var opsSrv *ops.Server
+	if *opsAddr != "" {
+		var err error
+		opsSrv, err = ops.NewServer(*opsAddr)
+		if err != nil {
+			return fmt.Errorf("start ops endpoint: %w", err)
+		}
+		defer opsSrv.Close()
+		fmt.Fprintf(w, "[ops endpoint listening on %s]\n", opsSrv.URL())
 	}
 
 	if *list {
@@ -75,9 +88,9 @@ func run(args []string, w io.Writer) error {
 	for _, p := range paths {
 		var err error
 		if *check {
-			err = checkScenario(p, *parallel, *outDir, *progress, w)
+			err = checkScenario(p, *parallel, *outDir, *progress, opsSrv, w)
 		} else {
-			err = runScenario(p, *parallel, *progress, w)
+			err = runScenario(p, *parallel, *progress, opsSrv, w)
 		}
 		if err != nil {
 			if !*check {
@@ -154,14 +167,20 @@ func listScenarios(dir string, w io.Writer) error {
 
 // execute loads and runs one spec, returning the spec, findings, and both
 // rendered artifacts.
-func execute(path string, parallel int, progress bool, w io.Writer) (*scenario.Spec, *scenario.Findings, []byte, []byte, error) {
+func execute(path string, parallel int, progress bool, opsSrv *ops.Server, w io.Writer) (*scenario.Spec, *scenario.Findings, []byte, []byte, error) {
 	spec, err := scenario.LoadSpec(path)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
 	opt := scenario.Options{Parallel: parallel}
-	if progress {
+	if progress || opsSrv != nil {
 		opt.OnProgress = func(p runner.Progress) {
+			if opsSrv != nil {
+				opsSrv.PublishUnit(p)
+			}
+			if !progress || !p.Phase.Terminal() {
+				return // starts/resumes feed the ops endpoint, not the console
+			}
 			status := "ok"
 			if p.Err != nil {
 				status = "ERROR: " + p.Err.Error()
@@ -183,8 +202,8 @@ func execute(path string, parallel int, progress bool, w io.Writer) (*scenario.S
 }
 
 // runScenario executes one spec and writes its artifacts next to it.
-func runScenario(path string, parallel int, progress bool, w io.Writer) error {
-	_, findings, jsonBytes, mdBytes, err := execute(path, parallel, progress, w)
+func runScenario(path string, parallel int, progress bool, opsSrv *ops.Server, w io.Writer) error {
+	_, findings, jsonBytes, mdBytes, err := execute(path, parallel, progress, opsSrv, w)
 	if err != nil {
 		return err
 	}
@@ -205,8 +224,8 @@ func runScenario(path string, parallel int, progress bool, w io.Writer) error {
 // checkScenario regenerates one spec's artifacts and byte-compares them
 // against the committed files; regenerated bytes land under outDir on any
 // mismatch.
-func checkScenario(path string, parallel int, outDir string, progress bool, w io.Writer) error {
-	spec, findings, jsonBytes, mdBytes, err := execute(path, parallel, progress, w)
+func checkScenario(path string, parallel int, outDir string, progress bool, opsSrv *ops.Server, w io.Writer) error {
+	spec, findings, jsonBytes, mdBytes, err := execute(path, parallel, progress, opsSrv, w)
 	if err != nil {
 		return err
 	}

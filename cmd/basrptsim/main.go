@@ -4,6 +4,7 @@
 //	basrptsim -scheduler fast-basrpt -v 2500 -load 0.95 -racks 4 -hosts 6 -duration 5
 //	basrptsim -scheduler srpt -load 0.6 -json
 //	basrptsim -scheduler srpt -load 0.8 -faults -faultseed 7   # inject link faults + a scheduler outage
+//	basrptsim -shards 4 -racks 344 -hosts 12 -duration 0.002 -timeline tl.json -ops 127.0.0.1:9090
 package main
 
 import (
@@ -44,6 +45,11 @@ type summary struct {
 
 	Faults    *basrpt.FaultCounters   `json:"faults,omitempty"`
 	Diagnosis *basrpt.FabricDiagnosis `json:"diagnosis,omitempty"`
+	// Sharded-engine extras: the engine family that ran and the
+	// wall-clock imbalance report (decomposed runs only; never part of
+	// the digest).
+	Shards    int                    `json:"shards,omitempty"`
+	Imbalance *basrpt.ShardImbalance `json:"imbalance,omitempty"`
 }
 
 // writeFileAtomic replaces path via a temp file + rename, so a checkpoint
@@ -81,6 +87,9 @@ func run(args []string, w io.Writer) error {
 		haltAfter = fs.Bool("halt-after-checkpoint", false, "stop cleanly right after the first persisted checkpoint (resume later with -resume)")
 		resumeIn  = fs.String("resume", "", "resume from this checkpoint file instead of starting at t=0 (flags must match the original run)")
 		window    = fs.Float64("window", 0, "streaming-results window in simulated seconds: emit window.* trace events and bound in-memory series/FCT reservoirs")
+		shards    = fs.Int("shards", 0, "run on the sharded fabric engine: 1 = centralized, >= 2 = rack-decomposed parallel cells (0 = legacy single-engine path; mixed workload only)")
+		timeline  = fs.String("timeline", "", "with -shards >= 2: write a Chrome trace_event timeline of cell/coordinator wall-clock execution to this file (open in chrome://tracing or Perfetto)")
+		opsAddr   = fs.String("ops", "", "serve a live ops endpoint on this address while the run executes: Prometheus /metrics, /progress JSON, /debug/pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,11 +102,45 @@ func run(args []string, w io.Writer) error {
 	if err := topo.ValidateNonBlocking(); err != nil {
 		return err
 	}
-	scheduler, err := basrpt.NewScheduler(*schedName, basrpt.SchedulerOptions{
-		V: *v, Threshold: *threshold, Seed: *seed,
-	})
+	schedOpts := basrpt.SchedulerOptions{V: *v, Threshold: *threshold, Seed: *seed}
+	scheduler, err := basrpt.NewScheduler(*schedName, schedOpts)
 	if err != nil {
 		return err
+	}
+	if *timeline != "" && *shards < 2 {
+		return fmt.Errorf("-timeline requires the decomposed engine (-shards >= 2)")
+	}
+	if *shards >= 1 {
+		for flagName, set := range map[string]bool{
+			"-faults":     *inject,
+			"-checkpoint": *ckptPath != "",
+			"-resume":     *resumeIn != "",
+			"-window":     *window != 0,
+		} {
+			if set {
+				return fmt.Errorf("%s is not supported with -shards (the sharded engine runs the mixed workload end to end)", flagName)
+			}
+		}
+		if *pattern != "mixed" {
+			return fmt.Errorf("-shards supports only -workload mixed")
+		}
+	}
+	var opsSrv *basrpt.OpsServer
+	if *opsAddr != "" {
+		opsSrv, err = basrpt.NewOpsServer(*opsAddr)
+		if err != nil {
+			return fmt.Errorf("start ops endpoint: %w", err)
+		}
+		defer opsSrv.Close()
+		fmt.Fprintf(w, "[ops endpoint listening on %s]\n", opsSrv.URL())
+	}
+	if *shards >= 1 {
+		return runSharded(w, topo, scheduler, schedOpts, opsSrv, shardedOptions{
+			schedName: *schedName, load: *load, queryFrac: *queryFrac,
+			duration: *duration, seed: *seed, shards: *shards,
+			timelinePath: *timeline, tracePath: *tracePath,
+			traceWall: *traceWall, jsonOut: *jsonOut,
+		})
 	}
 	var gen basrpt.Generator
 	switch *pattern {
@@ -132,6 +175,14 @@ func run(args []string, w io.Writer) error {
 		Duration:     *duration,
 		Seed:         *seed,
 		StreamWindow: *window,
+	}
+	if opsSrv != nil {
+		cfg.OnProgress = func(p basrpt.RunProgress) {
+			opsSrv.PublishRun(basrpt.OpsRunState{
+				SimTimeS: p.SimTime, DurationS: p.Duration, Windows: p.Windows,
+				Decisions: p.Decisions, ArrivedFlows: p.ArrivedFlows, CompletedFlows: p.CompletedFlows,
+			})
+		}
 	}
 	if *ckptPath != "" {
 		every := *ckptEvery
@@ -212,6 +263,9 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if opsSrv != nil {
+		opsSrv.PublishSnapshot(res.Obs)
+	}
 	if traceWriter != nil {
 		if err := traceWriter.Flush(); err != nil {
 			return fmt.Errorf("write trace: %w", err)
@@ -281,6 +335,157 @@ func run(args []string, w io.Writer) error {
 	tbl.AddRow("digest", out.Digest)
 	fmt.Fprint(w, tbl.Render())
 	fmt.Fprintln(w)
+	fmt.Fprint(w, trace.Chart("max-port backlog (bytes)", &res.MaxPortSeries, 60, 8))
+	return nil
+}
+
+// shardedOptions carries the flag values the sharded path consumes.
+type shardedOptions struct {
+	schedName    string
+	load         float64
+	queryFrac    float64
+	duration     float64
+	seed         uint64
+	shards       int
+	timelinePath string
+	tracePath    string
+	traceWall    bool
+	jsonOut      bool
+}
+
+// runSharded is the -shards path: one run on the sharded fabric engine
+// (centralized at 1 shard, rack-decomposed at >= 2), with optional JSONL
+// trace, Chrome timeline export, and live ops publishing.
+func runSharded(w io.Writer, topo *basrpt.Topology, _ basrpt.Scheduler, schedOpts basrpt.SchedulerOptions, opsSrv *basrpt.OpsServer, opt shardedOptions) error {
+	cfg := basrpt.ShardConfig{
+		Topology:          topo,
+		Scheduler:         opt.schedName,
+		SchedOpts:         schedOpts,
+		Load:              opt.load,
+		QueryByteFraction: opt.queryFrac,
+		Duration:          opt.duration,
+		Seed:              opt.seed,
+		Shards:            opt.shards,
+	}
+	var traceFile *os.File
+	var traceWriter *basrpt.TraceWriter
+	if opt.tracePath != "" {
+		var err error
+		traceFile, err = os.Create(opt.tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		defer traceFile.Close()
+		traceWriter, err = basrpt.NewTraceWriter(traceFile, basrpt.TraceHeader{
+			Seed:        int64(opt.seed),
+			Scheduler:   opt.schedName,
+			Hosts:       topo.NumHosts(),
+			Load:        opt.load,
+			DurationSec: opt.duration,
+			WallClock:   opt.traceWall,
+		})
+		if err != nil {
+			return fmt.Errorf("start trace: %w", err)
+		}
+		cfg.Obs = basrpt.NewObs(basrpt.ObsOptions{Sink: traceWriter, WallClock: opt.traceWall})
+	}
+	var tl *basrpt.Timeline
+	if opt.timelinePath != "" {
+		tl = basrpt.NewTimeline()
+		cfg.Timeline = tl
+	}
+	if opsSrv != nil {
+		if opt.shards >= 2 {
+			cfg.OnWindow = func(p basrpt.ShardProgress) {
+				opsSrv.PublishRun(basrpt.OpsRunState{
+					SimTimeS: p.SimTime, DurationS: p.Duration, Windows: p.Window + 1,
+					Decisions: p.Decisions, ArrivedFlows: p.ArrivedFlows, CompletedFlows: p.CompletedFlows,
+				})
+			}
+		} else {
+			cfg.OnProgress = func(p basrpt.RunProgress) {
+				opsSrv.PublishRun(basrpt.OpsRunState{
+					SimTimeS: p.SimTime, DurationS: p.Duration, Windows: p.Windows,
+					Decisions: p.Decisions, ArrivedFlows: p.ArrivedFlows, CompletedFlows: p.CompletedFlows,
+				})
+			}
+		}
+	}
+	res, err := basrpt.RunShardedFabric(cfg)
+	if err != nil {
+		return err
+	}
+	if opsSrv != nil {
+		opsSrv.PublishSnapshot(res.Obs)
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("close trace: %w", err)
+		}
+	}
+	if tl != nil {
+		f, err := os.Create(opt.timelinePath)
+		if err != nil {
+			return fmt.Errorf("create timeline: %w", err)
+		}
+		if err := tl.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write timeline: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close timeline: %w", err)
+		}
+	}
+
+	q := res.FCT.Stats(basrpt.ClassQuery)
+	bg := res.FCT.Stats(basrpt.ClassBackground)
+	out := summary{
+		Scheduler:      res.SchedulerName,
+		Hosts:          topo.NumHosts(),
+		Load:           opt.load,
+		DurationSec:    opt.duration,
+		ArrivedFlows:   res.ArrivedFlows,
+		CompletedFlows: res.CompletedFlows,
+		ThroughputGbps: res.AverageGbps(),
+		LeftoverBytes:  res.LeftoverBytes,
+		QueryAvgMs:     q.MeanMs,
+		QueryP99Ms:     q.P99Ms,
+		BgAvgMs:        bg.MeanMs,
+		BgP99Ms:        bg.P99Ms,
+		QueueVerdict:   res.MaxPortSeries.Trend(basrpt.GrowthThreshold).Verdict.String(),
+		Digest:         res.DeterministicDigest(),
+		Shards:         opt.shards,
+		Imbalance:      res.Imbalance,
+	}
+	if opt.jsonOut {
+		return trace.WriteJSON(w, out)
+	}
+
+	tbl := trace.Table{
+		Title:   fmt.Sprintf("%s on %d hosts at %.0f%% load for %gs (%d shards)", out.Scheduler, out.Hosts, out.Load*100, out.DurationSec, out.Shards),
+		Headers: []string{"metric", "value"},
+	}
+	tbl.AddRow("flows arrived/completed", fmt.Sprintf("%d / %d", out.ArrivedFlows, out.CompletedFlows))
+	tbl.AddRow("throughput", trace.Gbps(out.ThroughputGbps)+" Gbps")
+	tbl.AddRow("leftover backlog", trace.Bytes(out.LeftoverBytes))
+	tbl.AddRow("query FCT avg / 99th", trace.Ms(out.QueryAvgMs)+" / "+trace.Ms(out.QueryP99Ms)+" ms")
+	tbl.AddRow("background FCT avg / 99th", trace.Ms(out.BgAvgMs)+" / "+trace.Ms(out.BgP99Ms)+" ms")
+	tbl.AddRow("queue trend", out.QueueVerdict)
+	if traceWriter != nil {
+		tbl.AddRow("trace", fmt.Sprintf("%d events -> %s", traceWriter.Events(), opt.tracePath))
+	}
+	if tl != nil {
+		tbl.AddRow("timeline", fmt.Sprintf("%d spans -> %s (open in chrome://tracing)", tl.Len(), opt.timelinePath))
+	}
+	tbl.AddRow("digest", out.Digest)
+	fmt.Fprint(w, tbl.Render())
+	fmt.Fprintln(w)
+	if im := res.Imbalance; im != nil {
+		fmt.Fprintln(w, im.String())
+	}
 	fmt.Fprint(w, trace.Chart("max-port backlog (bytes)", &res.MaxPortSeries, 60, 8))
 	return nil
 }

@@ -51,6 +51,39 @@ type ObsBenchResult struct {
 	Deterministic bool  `json:"deterministic"` // two traced runs byte-identical
 }
 
+// ObsBudget is the checked-in ceiling the CI observability gate enforces
+// (bench_obs_budget.json at the repository root, mirroring the allocation
+// gate): the disabled-probe overhead must stay at or under the stated
+// percentage of per-decision scheduling cost, and — when required — the
+// traced fixed-seed runs must have been byte-identical. The 2% figure is
+// the paper-facing claim ("observability is free when off"); the
+// determinism requirement keeps the trace artifact reproducible.
+type ObsBudget struct {
+	MaxDisabledOverheadPct float64 `json:"max_disabled_overhead_pct"`
+	RequireDeterministic   bool    `json:"require_deterministic"`
+}
+
+// CheckBudget verifies the overhead bound and the determinism requirement
+// against the checked-in budget; the returned error lists each violation
+// (CI fails the build on it). A zero or negative ceiling disables the
+// overhead check — the budget file must state a positive bound for the
+// gate to bite, which the repository's bench_obs_budget.json does.
+func (r *ObsBenchResult) CheckBudget(b ObsBudget) error {
+	var violations []string
+	if b.MaxDisabledOverheadPct > 0 && r.DisabledOverheadPct > b.MaxDisabledOverheadPct {
+		violations = append(violations, fmt.Sprintf(
+			"disabled-probe overhead %.4f%% exceeds budget %.2f%%",
+			r.DisabledOverheadPct, b.MaxDisabledOverheadPct))
+	}
+	if b.RequireDeterministic && !r.Deterministic {
+		violations = append(violations, "traced fixed-seed runs were not byte-identical")
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("obs budget exceeded:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
 // runFabricObs is runFabricQF with an instrumentation handle attached.
 func runFabricObs(scale Scale, scheduler sched.Scheduler, load float64, o *obs.Obs) (*fabricsim.Result, error) {
 	scale = scale.withDefaults()

@@ -54,6 +54,28 @@ func TestObsBenchOverheadAndDeterminism(t *testing.T) {
 	}
 }
 
+// TestObsBudgetCheck exercises the CI gate logic without a full bench
+// run: only a positive ceiling bites, and determinism is enforced only
+// when required.
+func TestObsBudgetCheck(t *testing.T) {
+	res := &ObsBenchResult{DisabledOverheadPct: 0.5, Deterministic: true}
+	if err := res.CheckBudget(ObsBudget{}); err != nil {
+		t.Fatalf("empty budget must not bite: %v", err)
+	}
+	if err := res.CheckBudget(ObsBudget{MaxDisabledOverheadPct: 2, RequireDeterministic: true}); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := res.CheckBudget(ObsBudget{MaxDisabledOverheadPct: 0.1}); err == nil {
+		t.Fatal("overhead above ceiling accepted")
+	}
+	res.Deterministic = false
+	if err := res.CheckBudget(ObsBudget{RequireDeterministic: true}); err == nil {
+		t.Fatal("non-deterministic trace accepted under require_deterministic")
+	} else if !strings.Contains(err.Error(), "byte-identical") {
+		t.Fatalf("unhelpful violation message: %v", err)
+	}
+}
+
 // TestObsBenchRejectsBadLoad mirrors the sched-bench validation contract.
 func TestObsBenchRejectsBadLoad(t *testing.T) {
 	if _, err := RunObsBench(Scale{Racks: 2, HostsPerRack: 2, Duration: 0.2, Seed: 1}, 1.5); err == nil {

@@ -6,7 +6,6 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
-	"strings"
 
 	"basrpt/internal/checkpoint"
 	"basrpt/internal/flow"
@@ -405,6 +404,27 @@ func (r *Result) DeterministicDigest() string {
 			writeJSON(h, hs)
 		}
 	}
+	// Per-cell deterministic-plane snapshots (decomposed runs): folding
+	// them in machine-checks the per-cell attribution contract — the same
+	// grouping invariance the top-level counters already get.
+	for i, cell := range r.ShardObs {
+		for _, c := range cell.Counters {
+			if deterministicObsName(c.Name) {
+				fmt.Fprintf(h, "s%d:c:%s=%d|", i, c.Name, c.Value)
+			}
+		}
+		for _, g := range cell.Gauges {
+			if deterministicObsName(g.Name) {
+				fmt.Fprintf(h, "s%d:g:%s=%.17g/%.17g|", i, g.Name, g.Value, g.Max)
+			}
+		}
+		for _, hs := range cell.Histograms {
+			if deterministicObsName(hs.Name) {
+				fmt.Fprintf(h, "s%d:h:", i)
+				writeJSON(h, hs)
+			}
+		}
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -434,9 +454,12 @@ func deterministicRegistry(st obs.RegistryState) obs.RegistryState {
 }
 
 // deterministicObsName reports whether a registry entry is stable across
-// machines and across checkpoint/resume.
+// machines and across checkpoint/resume. The wall-clock observability
+// plane ("wall." and "runtime." names, see obs.IsWallClock) is excluded
+// wholesale; a few older wall-clock-derived names predate the naming
+// convention and are excluded individually.
 func deterministicObsName(name string) bool {
-	if strings.HasPrefix(name, "runtime.") {
+	if obs.IsWallClock(name) {
 		return false
 	}
 	switch name {

@@ -129,6 +129,34 @@ type Config struct {
 	// StreamKeep bounds per-class FCT samples and per-series points kept
 	// in streaming mode (default 4096). Ignored when StreamWindow is 0.
 	StreamKeep int
+	// OnProgress, when non-nil, receives the run's live position at every
+	// sample tick — the centralized engine's heartbeat for ops endpoints
+	// and progress displays. It belongs to the wall-clock observability
+	// plane: the callback runs on the simulation goroutine and must not
+	// feed anything deterministic (the run's physics, results, and traces
+	// are byte-identical whether or not it is set).
+	OnProgress func(RunProgress)
+}
+
+// RunProgress is the live heartbeat handed to Config.OnProgress at each
+// sample tick: where the simulated clock stands and how much work the
+// engine has done so far. Wall-clock plane only — values are consistent
+// at the tick but the callback cadence follows SampleInterval.
+type RunProgress struct {
+	// SimTime is the simulated clock in seconds; Duration the configured
+	// horizon.
+	SimTime  float64
+	Duration float64
+	// Windows counts streaming windows flushed so far (0 outside
+	// streaming mode).
+	Windows int
+	// Decisions, ArrivedFlows, and CompletedFlows are cumulative work
+	// counters at the tick.
+	Decisions      int64
+	ArrivedFlows   int
+	CompletedFlows int
+	// BacklogBytes is the fabric's total backlog at the tick.
+	BacklogBytes float64
 }
 
 // ErrStopAfterCheckpoint, returned from a CheckpointSink, halts the run
@@ -261,6 +289,21 @@ type Result struct {
 	// Diagnosis is non-nil when the watchdog truncated the run; the
 	// metrics above still satisfy arrived = departed + backlog.
 	Diagnosis *Diagnosis
+
+	// ShardObs holds one deterministic-plane registry snapshot per PDES
+	// cell, in rack order, for decomposed (Shards >= 2) runs — per-cell
+	// decisions, windows advanced, inter-shard messages sent/delivered,
+	// eventq high-water — plus each cell's wall-clock busy/barrier-wait
+	// counters ("wall." names, excluded from digests via obs.IsWallClock).
+	// The deterministic entries are byte-identical across shard counts
+	// and GOMAXPROCS (property-tested, and folded into
+	// DeterministicDigest). Nil for centralized runs.
+	ShardObs []obs.Snapshot
+	// Imbalance is the decomposed run's post-run wall-clock attribution
+	// report: which cell the barriers waited on and how skewed the load
+	// was. Wall-clock plane — never digested, never byte-compared. Nil
+	// for centralized runs.
+	Imbalance *ShardImbalance
 
 	// Obs is the end-of-run snapshot of the instrumentation registry —
 	// every counter, gauge, and histogram the run accumulated, including
@@ -973,5 +1016,22 @@ func (s *Sim) sample() {
 		// The gauge keeps its Max, so the snapshot reports the heap-live
 		// high-water mark across the run's sample ticks.
 		s.reg.Gauge("runtime.heap_live_bytes").Set(float64(ms.HeapAlloc))
+	}
+	if s.cfg.OnProgress != nil {
+		windows := 0
+		if s.cfg.StreamWindow > 0 {
+			// nextWindow is the next unflushed boundary, so the flushed
+			// count is one boundary behind it.
+			windows = int(math.Round(s.nextWindow/s.cfg.StreamWindow)) - 1
+		}
+		s.cfg.OnProgress(RunProgress{
+			SimTime:        s.now,
+			Duration:       s.cfg.Duration,
+			Windows:        windows,
+			Decisions:      s.cDecisions.Value(),
+			ArrivedFlows:   s.res.ArrivedFlows,
+			CompletedFlows: s.res.CompletedFlows,
+			BacklogBytes:   total,
+		})
 	}
 }

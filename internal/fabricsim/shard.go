@@ -98,6 +98,90 @@ type ShardConfig struct {
 	CheckpointEvery float64
 	// CheckpointSink receives each checkpoint; see Config.CheckpointSink.
 	CheckpointSink func(data []byte, simTime float64) error
+	// Timeline, when non-nil, records wall-clock spans for the decomposed
+	// engine — one "window" and one "barrier" span per cell per lookahead
+	// window plus coordinator "fold"/"route" spans — for Chrome
+	// trace_event export (obs.Timeline.WriteChromeTrace). Span ORDER is
+	// deterministic (rack order within each window); span times are
+	// wall-clock measurements. Ignored at Shards == 1.
+	Timeline *obs.Timeline
+	// OnWindow, when non-nil, is called on the coordinating goroutine
+	// after every decomposed window barrier with the run's live position
+	// — the sharded engine's heartbeat for ops endpoints. Wall-clock
+	// plane only: results are byte-identical whether or not it is set.
+	// Ignored at Shards == 1 (use Config.OnProgress through the
+	// centralized path instead).
+	OnWindow func(ShardProgress)
+	// OnProgress, when non-nil, is forwarded to the centralized engine's
+	// sample-tick heartbeat (Config.OnProgress). Wall-clock plane only.
+	// Ignored at Shards >= 2 (use OnWindow there).
+	OnProgress func(RunProgress)
+}
+
+// ShardProgress is the live heartbeat handed to ShardConfig.OnWindow
+// after each decomposed window barrier.
+type ShardProgress struct {
+	// SimTime is the window's end on the simulated clock; Duration the
+	// configured horizon.
+	SimTime  float64
+	Duration float64
+	// Window is the zero-based index of the window just completed, and
+	// Cells the number of PDES cells advancing in lockstep.
+	Window int
+	Cells  int
+	// Decisions, ArrivedFlows, and CompletedFlows are cumulative sums
+	// over all cells at the barrier.
+	Decisions      int64
+	ArrivedFlows   int
+	CompletedFlows int
+}
+
+// ShardImbalance is the decomposed engine's post-run wall-clock
+// attribution report: how the run's real time split between cell work
+// and barrier waiting, and which cell the others waited on. Everything
+// here is measured on the host machine — wall-clock plane, never part
+// of a deterministic artifact.
+type ShardImbalance struct {
+	// Cells is the number of PDES cells (racks); Windows the number of
+	// lookahead windows the run advanced through.
+	Cells   int `json:"cells"`
+	Windows int `json:"windows"`
+	// BusyNs[i] is cell i's total in-window execution time and
+	// BarrierWaitNs[i] its total time waiting at barriers for slower
+	// cells; SlowestWindows[i] counts windows cell i finished last.
+	BusyNs         []int64 `json:"busy_ns"`
+	BarrierWaitNs  []int64 `json:"barrier_wait_ns"`
+	SlowestWindows []int   `json:"slowest_windows"`
+	// SlowestCell is the cell that finished last in the most windows
+	// (lowest rack wins ties).
+	SlowestCell int `json:"slowest_cell"`
+	// BarrierWaitFraction is total barrier wait over total (busy + wait)
+	// cell time — the fraction of the fleet's wall clock lost to the
+	// lockstep, in [0, 1].
+	BarrierWaitFraction float64 `json:"barrier_wait_fraction"`
+	// SkewRatio is the maximum per-cell busy time over the mean — 1.0
+	// for a perfectly balanced fabric.
+	SkewRatio float64 `json:"skew_ratio"`
+}
+
+// String renders a one-paragraph imbalance summary for run footers.
+func (im *ShardImbalance) String() string {
+	if im == nil || im.Cells == 0 {
+		return "imbalance: no decomposed windows recorded"
+	}
+	var totalBusy, totalWait, slowBusy int64
+	for i := range im.BusyNs {
+		totalBusy += im.BusyNs[i]
+		totalWait += im.BarrierWaitNs[i]
+		if i == im.SlowestCell {
+			slowBusy = im.BusyNs[i]
+		}
+	}
+	return fmt.Sprintf(
+		"imbalance: %d cells x %d windows; busy %.1fms, barrier wait %.1fms (%.1f%% of cell time); skew ratio %.2f; slowest cell %d (last in %d windows, busy %.1fms)",
+		im.Cells, im.Windows,
+		float64(totalBusy)/1e6, float64(totalWait)/1e6, 100*im.BarrierWaitFraction,
+		im.SkewRatio, im.SlowestCell, im.SlowestWindows[im.SlowestCell], float64(slowBusy)/1e6)
 }
 
 // cellIDShift positions the source-rack tag inside a decomposed flow ID:
@@ -184,6 +268,7 @@ func runCentralized(cfg ShardConfig) (*Result, error) {
 		Obs:               cfg.Obs,
 		CheckpointEvery:   cfg.CheckpointEvery,
 		CheckpointSink:    cfg.CheckpointSink,
+		OnProgress:        cfg.OnProgress,
 	})
 	if err != nil {
 		return nil, err
@@ -288,6 +373,25 @@ type shardCell struct {
 	samples   []cellSample
 	dones     []cellDone
 
+	// reg is the cell's private deterministic-plane registry; its
+	// snapshot survives into Result.ShardObs. The resolved instruments
+	// below keep the hot paths at one pointer-indirected add.
+	reg            *obs.Registry
+	cDecisions     *obs.Counter
+	cMsgsSent      *obs.Counter
+	cMsgsDelivered *obs.Counter
+	cWindows       *obs.Counter
+
+	// Wall-clock plane: the worker stamps each window's start/duration
+	// (nanoseconds since the run origin); the coordinator reads them
+	// after the barrier join, so no synchronization beyond the WaitGroup
+	// is needed.
+	winStartNs    int64
+	winDurNs      int64
+	busyNs        int64
+	barrierWaitNs int64
+	slowestWins   int
+
 	err error
 }
 
@@ -329,6 +433,7 @@ func (c *shardCell) fetchLocal() {
 			src: a.Src, dst: a.Dst, size: a.Size, class: a.Class,
 			genTime: a.Time, id: id,
 		})
+		c.cMsgsSent.Inc()
 	}
 }
 
@@ -370,6 +475,7 @@ func (c *shardCell) admitRemote(rm routedMsg) {
 	}
 	src := c.hpr + m.src%c.uplinks
 	c.addFlow(m.id, src, dst, m.class, m.size, m.genTime, m.src)
+	c.cMsgsDelivered.Inc()
 }
 
 // advanceTo drains the transmitting flows to time t at the access-link
@@ -446,6 +552,7 @@ func (c *shardCell) reschedule() {
 	c.decision = c.scheduler.Schedule(c.table)
 	c.schedNanos += time.Since(start).Nanoseconds()
 	c.decisions++
+	c.cDecisions.Inc()
 	if c.clearsDirty {
 		c.table.ClearDirty()
 	}
@@ -491,6 +598,7 @@ func (c *shardCell) sample() {
 // global multiples of the lookahead, so the split is identical for
 // every shard count.
 func (c *shardCell) runWindow(capT float64) {
+	c.cWindows.Inc()
 	for {
 		t := capT
 		if c.hasLocal && c.pendingLocal.Time < t {
@@ -620,6 +728,11 @@ func runDecomposed(cfg ShardConfig) (*Result, error) {
 		if c.traced {
 			c.remoteSrc = make(map[flow.ID]int)
 		}
+		c.reg = obs.NewRegistry()
+		c.cDecisions = c.reg.Counter("cell.decisions")
+		c.cMsgsSent = c.reg.Counter("cell.msgs_sent")
+		c.cMsgsDelivered = c.reg.Counter("cell.msgs_delivered")
+		c.cWindows = c.reg.Counter("cell.windows")
 		c.fetchLocal()
 		cells[r] = c
 	}
@@ -634,36 +747,92 @@ func runDecomposed(cfg ShardConfig) (*Result, error) {
 	if groups > numCells {
 		groups = numCells
 	}
+	// Wall-clock plane: every cell-window is stamped against this origin
+	// (two clock reads per cell-window — cheap enough to keep always-on),
+	// feeding the barrier-wait accounting, the imbalance report, and the
+	// optional Timeline.
+	origin := time.Now()
+	windows := 0
 	for w := 0; ; w++ {
 		capT := float64(w+1) * look
 		if capT > cfg.Duration {
 			capT = cfg.Duration
 		}
-		runWindowParallel(cells, groups, capT)
+		runWindowParallel(cells, groups, capT, origin)
 		for _, c := range cells {
 			if c.err != nil {
 				return nil, c.err
 			}
 		}
+		windows++
+		accountWindow(cells, w, cfg.Timeline)
+		foldStart := time.Since(origin).Nanoseconds()
 		if err := foldWindow(cells, res, cfg); err != nil {
 			return nil, err
+		}
+		cfg.Timeline.Add(obs.TimelineSpan{
+			Track: obs.TimelineCoordinator, Name: "fold", Window: w,
+			StartNs: foldStart, DurNs: time.Since(origin).Nanoseconds() - foldStart,
+		})
+		if cfg.OnWindow != nil {
+			p := ShardProgress{
+				SimTime: capT, Duration: cfg.Duration,
+				Window: w, Cells: numCells,
+			}
+			for _, c := range cells {
+				p.Decisions += c.decisions
+				p.ArrivedFlows += c.arrivedFlows
+				p.CompletedFlows += c.completedFlows
+			}
+			cfg.OnWindow(p)
 		}
 		if capT >= cfg.Duration {
 			break
 		}
+		routeStart := time.Since(origin).Nanoseconds()
 		routeOutboxes(cells, float64(w+2)*look, hpr)
+		cfg.Timeline.Add(obs.TimelineSpan{
+			Track: obs.TimelineCoordinator, Name: "route", Window: w,
+			StartNs: routeStart, DurNs: time.Since(origin).Nanoseconds() - routeStart,
+		})
 	}
-	return mergeCells(cells, res, cfg)
+	return mergeCells(cells, res, cfg, windows)
+}
+
+// accountWindow folds one window's wall-clock stamps into the per-cell
+// busy/barrier-wait accumulators and, when a Timeline is attached,
+// records the window's spans in rack order — a deterministic span
+// sequence regardless of how the worker goroutines interleaved. The
+// barrier is modeled as ending when the window's slowest cell finished
+// (the coordinator's own fold work is tracked separately).
+func accountWindow(cells []*shardCell, w int, tl *obs.Timeline) {
+	windowEnd := int64(0)
+	slowest := 0
+	for i, c := range cells {
+		if end := c.winStartNs + c.winDurNs; end > windowEnd {
+			windowEnd = end
+			slowest = i
+		}
+	}
+	cells[slowest].slowestWins++
+	for _, c := range cells {
+		end := c.winStartNs + c.winDurNs
+		wait := windowEnd - end
+		c.busyNs += c.winDurNs
+		c.barrierWaitNs += wait
+		tl.Add(obs.TimelineSpan{Track: c.rack, Name: "window", Window: w, StartNs: c.winStartNs, DurNs: c.winDurNs})
+		tl.Add(obs.TimelineSpan{Track: c.rack, Name: "barrier", Window: w, StartNs: end, DurNs: wait})
+	}
 }
 
 // runWindowParallel executes one window across the cells, grouped onto
 // up to `groups` goroutines in contiguous rack-order spans. Cells share
 // nothing mutable during a window, so the only synchronization is the
 // join; the grouping affects wall clock only, never results.
-func runWindowParallel(cells []*shardCell, groups int, capT float64) {
+func runWindowParallel(cells []*shardCell, groups int, capT float64, origin time.Time) {
 	if groups <= 1 {
 		for _, c := range cells {
-			c.runWindow(capT)
+			c.runTimedWindow(capT, origin)
 		}
 		return
 	}
@@ -678,11 +847,19 @@ func runWindowParallel(cells []*shardCell, groups int, capT float64) {
 		go func(part []*shardCell) {
 			defer wg.Done()
 			for _, c := range part {
-				c.runWindow(capT)
+				c.runTimedWindow(capT, origin)
 			}
 		}(cells[lo:hi])
 	}
 	wg.Wait()
+}
+
+// runTimedWindow stamps one window's wall-clock start and duration
+// around runWindow for the busy/barrier-wait accounting.
+func (c *shardCell) runTimedWindow(capT float64, origin time.Time) {
+	c.winStartNs = time.Since(origin).Nanoseconds()
+	c.runWindow(capT)
+	c.winDurNs = time.Since(origin).Nanoseconds() - c.winStartNs
 }
 
 // routeOutboxes moves every cross-rack message deliverable before
@@ -786,7 +963,7 @@ func foldWindow(cells []*shardCell, res *Result, cfg ShardConfig) error {
 // (FCT sums, sample order, throughput buckets) a pure function of the
 // per-cell streams — and seals the instrumentation registry the way
 // the centralized finish() does.
-func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig) (*Result, error) {
+func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig, windows int) (*Result, error) {
 	reg := cfg.Obs.Registry()
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -824,6 +1001,48 @@ func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig) (*Result, erro
 	reg.Gauge("eventq.high_water").Set(float64(highWater))
 	reg.Counter("flow.pool_reuses").Add(poolReuses)
 	reg.Gauge("flow.pool_size").Set(float64(poolSize))
+
+	// Per-cell attribution: seal each cell's deterministic-plane registry
+	// (plus its wall-clock busy/wait counters, filtered out of digests by
+	// obs.IsWallClock) and fold the snapshots into the Result in rack
+	// order. The global registry gets the wall-clock totals and the
+	// Result gets the imbalance report.
+	im := &ShardImbalance{
+		Cells:          len(cells),
+		Windows:        windows,
+		BusyNs:         make([]int64, len(cells)),
+		BarrierWaitNs:  make([]int64, len(cells)),
+		SlowestWindows: make([]int, len(cells)),
+	}
+	var totalBusy, totalWait, maxBusy int64
+	for i, c := range cells {
+		c.reg.Gauge("cell.eventq_high_water").Set(float64(c.gen.QueueHighWater()))
+		c.reg.Counter("wall.busy_ns").Add(c.busyNs)
+		c.reg.Counter("wall.barrier_wait_ns").Add(c.barrierWaitNs)
+		c.reg.Counter("wall.sched_nanos").Add(c.schedNanos)
+		res.ShardObs = append(res.ShardObs, c.reg.Snapshot())
+		im.BusyNs[i] = c.busyNs
+		im.BarrierWaitNs[i] = c.barrierWaitNs
+		im.SlowestWindows[i] = c.slowestWins
+		if c.slowestWins > im.SlowestWindows[im.SlowestCell] {
+			im.SlowestCell = i
+		}
+		totalBusy += c.busyNs
+		totalWait += c.barrierWaitNs
+		if c.busyNs > maxBusy {
+			maxBusy = c.busyNs
+		}
+	}
+	if totalBusy+totalWait > 0 {
+		im.BarrierWaitFraction = float64(totalWait) / float64(totalBusy+totalWait)
+	}
+	if totalBusy > 0 {
+		im.SkewRatio = float64(maxBusy) / (float64(totalBusy) / float64(len(cells)))
+	}
+	res.Imbalance = im
+	reg.Counter("wall.busy_ns").Add(totalBusy)
+	reg.Counter("wall.barrier_wait_ns").Add(totalWait)
+
 	res.Obs = reg.Snapshot()
 	return res, nil
 }

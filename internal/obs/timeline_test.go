@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixedTimeline builds a small deterministic timeline: two cells and the
+// coordinator across two windows, with hand-picked timestamps.
+func fixedTimeline() *Timeline {
+	tl := NewTimeline()
+	tl.Add(TimelineSpan{Track: 0, Name: "window", Window: 0, StartNs: 1000, DurNs: 2500})
+	tl.Add(TimelineSpan{Track: 1, Name: "window", Window: 0, StartNs: 1100, DurNs: 1800})
+	tl.Add(TimelineSpan{Track: 0, Name: "barrier", Window: 0, StartNs: 3500, DurNs: 0})
+	tl.Add(TimelineSpan{Track: 1, Name: "barrier", Window: 0, StartNs: 2900, DurNs: 600})
+	tl.Add(TimelineSpan{Track: TimelineCoordinator, Name: "fold", Window: 0, StartNs: 3500, DurNs: 400})
+	tl.Add(TimelineSpan{Track: TimelineCoordinator, Name: "route", Window: 0, StartNs: 3900, DurNs: 150})
+	tl.Add(TimelineSpan{Track: 0, Name: "window", Window: 1, StartNs: 4050, DurNs: 2000})
+	tl.Add(TimelineSpan{Track: 1, Name: "window", Window: 1, StartNs: 4060, DurNs: 2100})
+	return tl
+}
+
+// TestWriteChromeTraceGolden pins the exact serialized bytes of the
+// Chrome trace_event export against a checked-in golden file, so schema
+// drift (field renames, ordering changes) is caught as a diff.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTimeline().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with UPDATE_GOLDEN=1 go test ./internal/obs/ -run ChromeTraceGolden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file %s:\n got:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeTraceValidJSON checks the export is a well-formed
+// trace_event document: parseable JSON with the fields the Chrome/
+// Perfetto loaders require, one thread row per track, and metadata
+// naming every row.
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTimeline().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TS   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			PID  int             `json:"pid"`
+			TID  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tids[ev.TID] = true
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Errorf("negative time in event %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != fixedTimeline().Len() {
+		t.Errorf("complete events = %d, want %d", complete, fixedTimeline().Len())
+	}
+	// process_name + coordinator + 2 cells.
+	if meta != 4 {
+		t.Errorf("metadata events = %d, want 4", meta)
+	}
+	// Coordinator on tid 0, cells on tids 1 and 2.
+	for _, tid := range []int{0, 1, 2} {
+		if !tids[tid] {
+			t.Errorf("no complete events on tid %d", tid)
+		}
+	}
+}
+
+// TestWriteChromeTraceMicroseconds checks the ns -> µs conversion keeps
+// sub-microsecond precision as decimals.
+func TestWriteChromeTraceMicroseconds(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(TimelineSpan{Track: 0, Name: "window", Window: 0, StartNs: 1234567, DurNs: 1005})
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\"ts\":1234.567") {
+		t.Errorf("want ts 1234.567 in output:\n%s", out)
+	}
+	if !strings.Contains(out, "\"dur\":1.005") {
+		t.Errorf("want dur 1.005 in output:\n%s", out)
+	}
+}
+
+func TestWriteChromeTraceRejectsBadSpans(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(TimelineSpan{Track: 0, Name: "bad\"name", Window: 0})
+	if err := tl.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("want error for JSON-unsafe span name")
+	}
+	tl2 := NewTimeline()
+	tl2.Add(TimelineSpan{Track: 0, Name: "window", StartNs: -1})
+	if err := tl2.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("want error for negative start")
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Add(TimelineSpan{Track: 0, Name: "window"}) // must not panic
+	if tl.Len() != 0 || tl.Spans() != nil {
+		t.Error("nil timeline should be empty")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil timeline export: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil timeline export not valid JSON: %s", buf.Bytes())
+	}
+}

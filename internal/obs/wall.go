@@ -1,0 +1,48 @@
+package obs
+
+import "strings"
+
+// WallPrefix marks instrument names that belong to the wall-clock
+// observability plane: measurements of the host machine (barrier waits,
+// cell busy time, scheduler nanos) rather than of the simulated physics.
+// Wall-clock instruments live in the same registries as deterministic
+// ones for convenience, but every deterministic artifact — result
+// digests, checkpoint bytes, cross-shard snapshot comparisons — must
+// filter them out, because their values differ run to run on the same
+// seed. IsWallClock is that filter.
+const WallPrefix = "wall."
+
+// IsWallClock reports whether the named instrument belongs to the
+// wall-clock plane and must therefore be excluded from deterministic
+// digests, checkpoints, and byte-comparison tests. It covers the
+// explicit "wall." domain plus the "runtime." gauges (GC and heap
+// readings taken at sample ticks), which predate the wall domain but
+// are nondeterministic for the same reason.
+func IsWallClock(name string) bool {
+	return strings.HasPrefix(name, WallPrefix) || strings.HasPrefix(name, "runtime.")
+}
+
+// WithoutWall returns a copy of the snapshot with every wall-clock
+// instrument (per IsWallClock) removed. The result is the
+// deterministic-plane view: byte-identical across reruns, shard counts,
+// and GOMAXPROCS for the same seeded run. Slices are freshly allocated;
+// the receiver is not modified.
+func (s Snapshot) WithoutWall() Snapshot {
+	var out Snapshot
+	for _, c := range s.Counters {
+		if !IsWallClock(c.Name) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if !IsWallClock(g.Name) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if !IsWallClock(h.Name) {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	return out
+}

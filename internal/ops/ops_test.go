@@ -1,0 +1,147 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"basrpt/internal/obs"
+	"basrpt/internal/runner"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	reg := obs.NewRegistry()
+	reg.Counter("fabric.decisions").Add(123)
+	reg.Gauge("sample.queue_mb").Set(4.5)
+	h := reg.Histogram("wall.window_ns")
+	h.Observe(3)
+	h.Observe(900)
+	s.PublishSnapshot(reg.Snapshot())
+	s.PublishRun(RunState{SimTimeS: 1.5, DurationS: 3, Windows: 60, Decisions: 123, ArrivedFlows: 10, CompletedFlows: 7})
+	s.PublishUnit(runner.Progress{Phase: runner.PhaseStart, Done: 0, Total: 2, Task: "srpt/0.8", Seed: 11})
+	s.PublishUnit(runner.Progress{Phase: runner.PhaseDone, Done: 1, Total: 2, Task: "srpt/0.8", Seed: 11})
+	s.PublishUnit(runner.Progress{Phase: runner.PhaseFailed, Done: 2, Total: 2, Task: "srpt/0.9", Seed: 12, Err: errors.New("boom")})
+
+	code, body := get(t, s.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE basrpt_fabric_decisions counter",
+		"basrpt_fabric_decisions 123",
+		"basrpt_sample_queue_mb 4.5",
+		"basrpt_sample_queue_mb_max 4.5",
+		"# TYPE basrpt_wall_window_ns histogram",
+		`basrpt_wall_window_ns_bucket{le="4"} 1`,
+		`basrpt_wall_window_ns_bucket{le="1024"} 2`,
+		`basrpt_wall_window_ns_bucket{le="+Inf"} 2`,
+		"basrpt_wall_window_ns_count 2",
+		"basrpt_run_sim_time_seconds 1.5",
+		"basrpt_run_percent_done 50",
+		"basrpt_run_windows 60",
+		"basrpt_units_done 2",
+		"basrpt_units_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, s.URL()+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress status %d", code)
+	}
+	var doc struct {
+		UptimeS    float64 `json:"uptime_s"`
+		Run        *RunState
+		Percent    float64     `json:"percent_done"`
+		UnitsDone  int         `json:"units_done"`
+		UnitsTotal int         `json:"units_total"`
+		Seeds      []SeedState `json:"seeds"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if doc.Run == nil || doc.Run.SimTimeS != 1.5 || doc.Percent != 50 {
+		t.Fatalf("run state wrong: %s", body)
+	}
+	if doc.UnitsDone != 2 || doc.UnitsTotal != 2 {
+		t.Fatalf("units %d/%d, want 2/2: %s", doc.UnitsDone, doc.UnitsTotal, body)
+	}
+	if len(doc.Seeds) != 2 {
+		t.Fatalf("seeds = %+v, want 2 entries", doc.Seeds)
+	}
+	if doc.Seeds[0].Phase != "done" || doc.Seeds[1].Phase != "failed" || doc.Seeds[1].Error != "boom" {
+		t.Fatalf("seed states wrong: %+v", doc.Seeds)
+	}
+
+	code, _ = get(t, s.URL()+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+	code, body = get(t, s.URL()+"/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index status %d body %q", code, body)
+	}
+	code, _ = get(t, s.URL()+"/nope")
+	if code != 404 {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestWriteMetricsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, obs.Snapshot{}, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot should render nothing, got %q", buf.String())
+	}
+}
+
+func TestMetricNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"fabric.decisions":   "basrpt_fabric_decisions",
+		"wall.barrier-wait":  "basrpt_wall_barrier_wait",
+		"Cell.MsgsSent":      "basrpt_Cell_MsgsSent",
+		"weird name/metric!": "basrpt_weird_name_metric_",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunStatePercentDone(t *testing.T) {
+	if p := (RunState{SimTimeS: 1, DurationS: 4}).PercentDone(); p != 25 {
+		t.Errorf("percent = %g, want 25", p)
+	}
+	if p := (RunState{SimTimeS: 1}).PercentDone(); p != 0 {
+		t.Errorf("unknown horizon percent = %g, want 0", p)
+	}
+}

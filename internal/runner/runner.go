@@ -35,15 +35,39 @@ type Task struct {
 	CheckpointPath string
 }
 
-// Progress reports one finished (replicate, task) unit. Done counts units
-// finished so far, including this one.
+// Phase identifies where in its lifecycle a (replicate, task) unit is
+// when an OnProgress callback fires.
+type Phase string
+
+// The unit lifecycle: every unit emits PhaseStart when a worker picks it
+// up and exactly one terminal phase (PhaseDone or PhaseFailed) when it
+// finishes; PhaseResume fires in between only when a failed first
+// attempt has a Resume hook to try.
+const (
+	PhaseStart  Phase = "start"
+	PhaseResume Phase = "resume"
+	PhaseDone   Phase = "done"
+	PhaseFailed Phase = "failed"
+)
+
+// Terminal reports whether the phase marks a finished unit. Done counts
+// include the reporting unit only on terminal phases, and Sample is only
+// populated there.
+func (p Phase) Terminal() bool { return p == PhaseDone || p == PhaseFailed }
+
+// Progress is the structured progress value handed to OnProgress: which
+// (replicate, task) unit fired, where it is in its lifecycle, and how
+// far the whole sweep has come. Done counts units finished so far —
+// including the reporting unit on terminal phases, excluding it on
+// start/resume phases.
 type Progress struct {
+	Phase  Phase
 	Done   int
 	Total  int
 	Task   string
 	Seed   uint64
-	Sample Sample
-	Err    error
+	Sample Sample // terminal phases only; nil on failure
+	Err    error  // the unit's (or first attempt's, on PhaseResume) error
 }
 
 // Config parameterizes a multi-seed run.
@@ -57,13 +81,16 @@ type Config struct {
 	// RootSeed is the root of the per-replicate seed derivation (0
 	// selects 1). Replicate i runs at DeriveSeed(RootSeed, i).
 	RootSeed uint64
-	// OnProgress, when non-nil, is called once per finished unit, from
-	// the worker that finished it, serialized by an internal mutex so
-	// implementations need no locking of their own. Units complete in
+	// OnProgress, when non-nil, is called at every unit lifecycle phase
+	// (start, optional resume, one terminal done/failed), from the worker
+	// driving the unit, serialized by an internal mutex so
+	// implementations need no locking of their own. Units progress in
 	// pool order, so the callback sequence is NOT deterministic across
-	// runs — it exists for live observability (per-seed progress lines),
-	// never for results; the aggregate stays byte-identical at any worker
-	// count regardless of what the callback observes.
+	// runs — it exists for live observability (per-seed progress lines,
+	// ops endpoints), never for results; the aggregate stays
+	// byte-identical at any worker count regardless of what the callback
+	// observes. Consumers that only want completion lines should filter
+	// on Progress.Phase.Terminal().
 	OnProgress func(Progress)
 }
 
@@ -147,6 +174,24 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
 	var done int
+	// notify serializes every lifecycle callback under one mutex and owns
+	// the done counter, so Progress.Done is consistent with the phase
+	// ordering each consumer observes.
+	notify := func(phase Phase, taskName string, seed uint64, sample Sample, err error) {
+		if cfg.OnProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		if phase.Terminal() {
+			done++
+		}
+		cfg.OnProgress(Progress{
+			Phase: phase, Done: done, Total: nUnits,
+			Task: taskName, Seed: seed,
+			Sample: sample, Err: err,
+		})
+		progressMu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -154,8 +199,10 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 			for u := range idx {
 				task := tasks[u%len(tasks)]
 				seed := seeds[u/len(tasks)]
+				notify(PhaseStart, task.Name, seed, nil, nil)
 				sample, err := runUnit(task.Run, seed)
 				if err != nil && task.Resume != nil {
+					notify(PhaseResume, task.Name, seed, nil, err)
 					if resumed, rerr := runUnit(func(s uint64) (Sample, error) {
 						return task.Resume(s, err)
 					}, seed); rerr == nil {
@@ -173,16 +220,11 @@ func Run(cfg Config, tasks []Task) (*Aggregate, error) {
 					sample = nil
 				}
 				units[u] = unit{sample: sample, err: err}
-				if cfg.OnProgress != nil {
-					progressMu.Lock()
-					done++
-					cfg.OnProgress(Progress{
-						Done: done, Total: nUnits,
-						Task: task.Name, Seed: seed,
-						Sample: sample, Err: err,
-					})
-					progressMu.Unlock()
+				phase := PhaseDone
+				if err != nil {
+					phase = PhaseFailed
 				}
+				notify(phase, task.Name, seed, sample, err)
 			}
 		}()
 	}

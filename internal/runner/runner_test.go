@@ -208,18 +208,38 @@ func TestOnProgressReportsEveryUnit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(events) != 6 {
-		t.Fatalf("progress events = %d, want 6", len(events))
+	// Every unit fires a start and a terminal phase: 6 units -> 12 events.
+	if len(events) != 12 {
+		t.Fatalf("progress events = %d, want 12", len(events))
 	}
 	seenTasks := map[string]int{}
+	var terminal int
+	started := map[string]int{}
 	for i, p := range events {
-		if p.Done != i+1 || p.Total != 6 {
-			t.Fatalf("event %d: Done/Total = %d/%d", i, p.Done, p.Total)
+		if p.Total != 6 {
+			t.Fatalf("event %d: Total = %d", i, p.Total)
 		}
-		if p.Err != nil || p.Sample == nil {
-			t.Fatalf("event %d: err=%v sample=%v", i, p.Err, p.Sample)
+		switch p.Phase {
+		case PhaseStart:
+			started[p.Task]++
+			if p.Sample != nil || p.Err != nil {
+				t.Fatalf("start event %d carries sample/err: %+v", i, p)
+			}
+		case PhaseDone:
+			terminal++
+			if p.Done != terminal {
+				t.Fatalf("event %d: Done = %d, want %d", i, p.Done, terminal)
+			}
+			if p.Err != nil || p.Sample == nil {
+				t.Fatalf("event %d: err=%v sample=%v", i, p.Err, p.Sample)
+			}
+			seenTasks[p.Task]++
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, p.Phase)
 		}
-		seenTasks[p.Task]++
+	}
+	if started["a"] != 3 || started["b"] != 3 {
+		t.Fatalf("start coverage = %v", started)
 	}
 	if seenTasks["a"] != 3 || seenTasks["b"] != 3 {
 		t.Fatalf("task coverage = %v", seenTasks)
@@ -250,5 +270,39 @@ func TestOnProgressCarriesFailures(t *testing.T) {
 	}
 	if failed != 2 {
 		t.Fatalf("failed progress events = %d, want 2", failed)
+	}
+}
+
+func TestOnProgressResumePhase(t *testing.T) {
+	task := []Task{{
+		Name: "flaky",
+		Run: func(seed uint64) (Sample, error) {
+			return nil, fmt.Errorf("first attempt at %d", seed)
+		},
+		Resume: func(seed uint64, cause error) (Sample, error) {
+			return Sample{"v": 1}, nil
+		},
+	}}
+	var phases []Phase
+	agg, err := Run(Config{Seeds: 1, Parallel: 1, OnProgress: func(p Progress) {
+		phases = append(phases, p.Phase)
+		if p.Phase == PhaseResume && p.Err == nil {
+			t.Error("resume phase should carry the first attempt's error")
+		}
+	}}, task)
+	if err != nil {
+		t.Fatalf("resumed run should succeed: %v", err)
+	}
+	if agg == nil || agg.Metric("flaky/v") == nil {
+		t.Fatal("missing resumed metric")
+	}
+	want := []Phase{PhaseStart, PhaseResume, PhaseDone}
+	if !reflect.DeepEqual(phases, want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for _, p := range phases {
+		if p.Terminal() != (p == PhaseDone) {
+			t.Errorf("Terminal(%q) wrong", p)
+		}
 	}
 }

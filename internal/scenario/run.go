@@ -17,9 +17,9 @@ type Options struct {
 	// Parallel is the worker count (0 = GOMAXPROCS). The findings are
 	// byte-identical for any value.
 	Parallel int
-	// OnProgress, when non-nil, receives per-unit completion callbacks
-	// for live output (completion order is nondeterministic — display
-	// only).
+	// OnProgress, when non-nil, receives per-unit lifecycle callbacks
+	// (start/resume/done/failed phases) for live output. Callback order
+	// is nondeterministic — display and ops endpoints only.
 	OnProgress func(runner.Progress)
 }
 

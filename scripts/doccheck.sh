@@ -5,7 +5,9 @@
 #   1. every internal package has a `// Package <name> ...` comment;
 #   2. every command under cmd/ has a `// Command <name> ...` comment;
 #   3. every exported top-level symbol in internal/scenario (the
-#      spec/findings API other tools consume) carries a doc comment.
+#      spec/findings API other tools consume), internal/obs (the
+#      instrumentation API), and internal/ops (the live-endpoint API)
+#      carries a doc comment.
 #
 # Stdlib tooling only: grep + awk over non-test Go sources.
 set -euo pipefail
@@ -36,10 +38,11 @@ for dir in cmd/*/; do
     fi
 done
 
-# 3. Exported top-level symbols in internal/scenario are documented: any
-# top-level `func F`, method on any receiver, `type T`, or `const`/`var`
-# (single exported name or grouped block) must be preceded by a comment.
-for f in internal/scenario/*.go; do
+# 3. Exported top-level symbols in the consumed-API packages are
+# documented: any top-level `func F`, method on any receiver, `type T`,
+# or `const`/`var` (single exported name or grouped block) must be
+# preceded by a comment.
+for f in internal/scenario/*.go internal/obs/*.go internal/ops/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
         /^(func|type) [A-Z]/ || /^func \([^)]+\) [A-Z]/ || /^(const|var) ([A-Z]|\()/ {
@@ -57,4 +60,4 @@ if [ "$fail" -ne 0 ]; then
     echo "doccheck: FAIL" >&2
     exit 1
 fi
-echo "doccheck: OK (package comments, command comments, internal/scenario exported symbols)"
+echo "doccheck: OK (package comments, command comments, scenario/obs/ops exported symbols)"

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# ops_smoke.sh — live ops-endpoint smoke test, wired into `make ops-smoke`
+# and CI.
+#
+# Starts a sharded fabric run with the -ops endpoint on an ephemeral
+# port, polls /metrics and /progress while the simulation executes, and
+# asserts both are well-formed (Prometheus exposition lines, valid
+# progress JSON). Then runs a short decomposed run with -timeline and
+# checks the Chrome trace_event export parses and names the cell tracks.
+# Stdlib + curl only; artifacts land in ops_smoke_out/ (kept on failure
+# for the CI upload).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=ops_smoke_out
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+GO="${GO:-go}"
+$GO build -o "$OUT/basrptsim" ./cmd/basrptsim
+
+fail() {
+    echo "ops-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# --- live endpoint: long enough run to be mid-flight when we poll -------
+"$OUT/basrptsim" -shards 4 -racks 8 -hosts 6 -duration 0.4 -load 0.7 \
+    -ops 127.0.0.1:0 >"$OUT/run.log" 2>&1 &
+SIM_PID=$!
+trap 'kill "$SIM_PID" 2>/dev/null || true' EXIT
+
+# The run prints "[ops endpoint listening on http://127.0.0.1:PORT]"
+# before simulating; grab the URL with retries.
+URL=""
+for _ in $(seq 1 50); do
+    URL=$(grep -oE 'http://[0-9.]+:[0-9]+' "$OUT/run.log" | head -1 || true)
+    [ -n "$URL" ] && break
+    sleep 0.1
+done
+[ -n "$URL" ] && echo "ops-smoke: endpoint at $URL" || fail "no ops URL in run.log: $(cat "$OUT/run.log")"
+
+# Poll until the run has made progress (decisions > 0 on /metrics).
+OK=""
+for _ in $(seq 1 100); do
+    if curl -sf "$URL/metrics" >"$OUT/metrics.txt" 2>/dev/null \
+        && grep -qE '^basrpt_run_decisions [1-9]' "$OUT/metrics.txt"; then
+        OK=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$OK" ] || fail "/metrics never reported live decisions: $(cat "$OUT/metrics.txt" 2>/dev/null || true)"
+
+grep -qE '^basrpt_run_sim_time_seconds [0-9]' "$OUT/metrics.txt" || fail "/metrics lacks basrpt_run_sim_time_seconds"
+grep -qE '^basrpt_run_percent_done [0-9]' "$OUT/metrics.txt" || fail "/metrics lacks basrpt_run_percent_done"
+
+curl -sf "$URL/progress" >"$OUT/progress.json" || fail "/progress unreachable"
+python3 - "$OUT/progress.json" <<'PYEOF' || fail "/progress is not well-formed"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["uptime_s"] >= 0, doc
+run = doc.get("run")
+assert run is not None and run["duration_s"] == 0.4, doc
+assert 0 <= doc.get("percent_done", 0) <= 100, doc
+PYEOF
+
+curl -sf "$URL/debug/pprof/cmdline" >/dev/null || fail "pprof endpoint unreachable"
+
+kill "$SIM_PID" 2>/dev/null || true
+wait "$SIM_PID" 2>/dev/null || true
+
+# --- timeline export: short decomposed run ------------------------------
+"$OUT/basrptsim" -shards 4 -racks 8 -hosts 6 -duration 0.005 -load 0.7 \
+    -timeline "$OUT/timeline.json" >"$OUT/timeline_run.log" 2>&1 \
+    || fail "timeline run failed: $(cat "$OUT/timeline_run.log")"
+python3 - "$OUT/timeline.json" <<'PYEOF' || fail "timeline export is not a valid Chrome trace"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert len(events) > 10, f"only {len(events)} events"
+names = {e["args"]["name"] for e in events if e.get("ph") == "M" and e.get("name") == "thread_name"}
+assert "cell 0" in names and "coordinator" in names, names
+assert any(e.get("ph") == "X" and e.get("name") == "window" for e in events)
+assert any(e.get("ph") == "X" and e.get("name") == "barrier" for e in events)
+PYEOF
+
+rm -rf "$OUT"
+trap - EXIT
+echo "ops-smoke: OK (/metrics live, /progress well-formed, pprof up, timeline valid)"
