@@ -14,7 +14,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	GOMAXPROCS=4 $(GO) test -race -run 'TestRunShardDecomposed' ./internal/fabricsim/
+	GOMAXPROCS=4 $(GO) test -race -run 'TestRunShardDecomposed|TestRunShardBatch|TestRunShardWorkerPool' ./internal/fabricsim/
 
 vet:
 	gofmt -l . && $(GO) vet ./...
@@ -77,20 +77,26 @@ ALLOCBENCH_DURATION ?= 0.02
 # Shard-scaling regression gate: the centralized 1-shard engine versus
 # rack-decomposed arms at 2 and 4 shards on a 4128-host (344x12) fabric
 # at 0.5 load. Every decomposed arm must report one deterministic digest
-# (grouping invariance at scale), and the widest arm must beat the
-# checked-in bench_shard_budget.json floor over the centralized arm, or
-# the target fails. The report goes to BENCH_shard.json (uploaded as a
-# CI artifact).
+# (grouping invariance at scale); the widest arm must beat the
+# checked-in bench_shard_budget.json floor over the centralized arm and
+# (on >= 4-CPU machines) must not fall behind the 2-shard arm
+# (min_parallel_speedup), or the target fails. The report — including
+# per-arm windows-per-barrier and the worker/cell imbalance table — goes
+# to BENCH_shard.json (uploaded as a CI artifact).
 bench-shard:
 	$(GO) run ./cmd/basrptbench -shardbench BENCH_shard.json \
 		-shardbudget bench_shard_budget.json \
-		-racks 344 -hosts 12 -duration $(SHARDBENCH_DURATION)
+		-racks 344 -hosts 12 -duration $(SHARDBENCH_DURATION) \
+		-centralized-duration $(SHARDBENCH_CENTRALIZED_DURATION)
 
 # Simulated horizon of the bench-shard arms. 2 ms at 4128 hosts is ~62k
-# scheduling decisions on the centralized arm, which dominates the wall
-# time — its fabric-global matching is exactly what the decomposed arms
-# are measured against.
+# scheduling decisions on the centralized arm, whose O(hosts^2)
+# fabric-global matching dominates the wall time (~21 s for the full
+# horizon vs ~0.3 s per decomposed arm) — so the centralized arm runs a
+# quarter-horizon cap by default: decisions/sec converges well within it
+# and the decomposed arms still run (and digest-check) the full horizon.
 SHARDBENCH_DURATION ?= 0.002
+SHARDBENCH_CENTRALIZED_DURATION ?= 0.0005
 
 # Trace-export smoke check: two fixed-seed traced runs must produce
 # byte-identical JSONL (the determinism contract CI also enforces).

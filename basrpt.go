@@ -351,6 +351,10 @@ type (
 	// ShardBudget is the checked-in shard-scaling floor the CI gate
 	// enforces over BENCH_shard.json.
 	ShardBudget = core.ShardBudget
+	// ShardBenchOptions tunes RunShardBench: load, widest arm,
+	// centralized-horizon cap, and the barrier batch forwarded to the
+	// decomposed arms. The zero value selects every default.
+	ShardBenchOptions = core.ShardBenchOptions
 )
 
 // Observability (see internal/obs): a deterministic instrumentation
@@ -482,6 +486,10 @@ type (
 	// OpsRunState is the live position of a single fabric run as
 	// published to an OpsServer.
 	OpsRunState = ops.RunState
+	// OpsShardState is the decomposed engine's pool-level position —
+	// barrier cadence, worker count, per-cell busy/wait — as published
+	// to an OpsServer (rendered as the basrpt_shard_* metric family).
+	OpsShardState = ops.ShardState
 	// OpsSeedState is one experiment unit's lifecycle state as exposed
 	// by the /progress endpoint.
 	OpsSeedState = ops.SeedState
@@ -578,13 +586,14 @@ func RunAllocBench(scale Scale, load float64) (*AllocBenchResult, error) {
 }
 
 // RunShardBench measures scheduling throughput across shard counts on
-// one topology: the centralized engine at 1 shard, then rack-decomposed
-// arms doubling from 2 up to maxShards (default 4). Every decomposed arm
-// must report an identical deterministic digest or the bench errors, so
-// each run doubles as a grouping-invariance check at scale (load <= 0
-// selects the 0.5 default).
-func RunShardBench(scale Scale, load float64, maxShards int) (*ShardBenchResult, error) {
-	return core.RunShardBench(scale, load, maxShards)
+// one topology: the centralized engine at 1 shard (optionally on a
+// capped horizon — see ShardBenchOptions.CentralizedDuration), then
+// rack-decomposed arms doubling from 2 up to ShardBenchOptions.MaxShards
+// (default 4). Every decomposed arm must report an identical
+// deterministic digest or the bench errors, so each run doubles as a
+// grouping-invariance check at scale.
+func RunShardBench(scale Scale, opts ShardBenchOptions) (*ShardBenchResult, error) {
+	return core.RunShardBench(scale, opts)
 }
 
 // RunFaults compares SRPT and fast BASRPT under byte-identical workloads

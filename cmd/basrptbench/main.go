@@ -37,9 +37,13 @@
 //
 // With -shardbench PATH the tool instead benchmarks the sharded fabric
 // engine: the centralized 1-shard simulator against rack-decomposed arms
-// doubling up to -shards, reporting decisions/sec and speedup per arm to
-// PATH (the CI artifact BENCH_shard.json). Pass -shardbudget FILE to fail
-// the run when the widest arm misses the checked-in scaling floor.
+// doubling up to -shards, reporting decisions/sec, speedup, parallel
+// speedup (widest arm vs 2 shards), and the per-arm barrier/imbalance
+// attribution to PATH (the CI artifact BENCH_shard.json). Pass
+// -shardbudget FILE to fail the run when the widest arm misses the
+// checked-in scaling floor, -centralized-duration SEC to cap the slow
+// centralized arm's horizon, and -barrier-every K to batch K lookahead
+// windows per coordinator barrier in the decomposed arms.
 //
 // Profiling: -cpuprofile/-memprofile write pprof profiles around whatever
 // work the other flags select; -pprof ADDR serves net/http/pprof for live
@@ -96,6 +100,8 @@ func run(args []string, w io.Writer) error {
 		shardJSON = fs.String("shardbench", "", "instead of experiments: benchmark the sharded fabric engine across shard counts at this scale (load 0.5) and write decisions/sec + speedup to this path")
 		shards    = fs.Int("shards", 4, "with -shardbench: widest shard count (arms double from 2 up to this)")
 		shardBudg = fs.String("shardbudget", "", "with -shardbench: JSON budget file (min_speedup_at_max_shards, min_parallel_speedup); missing the floor fails the run")
+		centDur   = fs.Float64("centralized-duration", 0, "with -shardbench: cap the centralized arm's simulated horizon in seconds (0 = full -duration); decomposed arms always run the full horizon")
+		barrier   = fs.Int("barrier-every", 0, "with -shardbench: windows per coordinator barrier for the decomposed arms (0 = engine default)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the selected work to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile (after the selected work) to this file")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the work runs")
@@ -180,7 +186,11 @@ func run(args []string, w io.Writer) error {
 		if *seeds > 1 {
 			return fmt.Errorf("-shardbench runs single-seed arms (drop -seeds)")
 		}
-		return runShardBench(w, scale, *shards, *shardJSON, *shardBudg)
+		return runShardBench(w, scale, basrpt.ShardBenchOptions{
+			MaxShards:           *shards,
+			CentralizedDuration: *centDur,
+			BarrierEvery:        *barrier,
+		}, *shardJSON, *shardBudg)
 	}
 
 	wanted := strings.Split(*exp, ",")
@@ -651,9 +661,9 @@ type shardReport struct {
 // runShardBench is the -shardbench path: shard-scaling arms on one
 // topology, rendered as a table, written as JSON, and checked against
 // the budget file when one is given (the CI scaling gate).
-func runShardBench(w io.Writer, scale basrpt.Scale, maxShards int, path, budgetPath string) error {
+func runShardBench(w io.Writer, scale basrpt.Scale, opts basrpt.ShardBenchOptions, path, budgetPath string) error {
 	start := time.Now()
-	res, err := basrpt.RunShardBench(scale, 0, maxShards)
+	res, err := basrpt.RunShardBench(scale, opts)
 	if err != nil {
 		return fmt.Errorf("shardbench: %w", err)
 	}

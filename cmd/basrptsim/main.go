@@ -88,6 +88,8 @@ func run(args []string, w io.Writer) error {
 		resumeIn  = fs.String("resume", "", "resume from this checkpoint file instead of starting at t=0 (flags must match the original run)")
 		window    = fs.Float64("window", 0, "streaming-results window in simulated seconds: emit window.* trace events and bound in-memory series/FCT reservoirs")
 		shards    = fs.Int("shards", 0, "run on the sharded fabric engine: 1 = centralized, >= 2 = rack-decomposed parallel cells (0 = legacy single-engine path; mixed workload only)")
+		barrier   = fs.Int("barrier-every", 0, "with -shards >= 2: lookahead windows per coordinator barrier (0 = engine default; results are byte-identical at every value)")
+		workers   = fs.Int("workers", 0, "with -shards >= 2: persistent worker goroutines executing the cells (0 = GOMAXPROCS; wall-clock only)")
 		timeline  = fs.String("timeline", "", "with -shards >= 2: write a Chrome trace_event timeline of cell/coordinator wall-clock execution to this file (open in chrome://tracing or Perfetto)")
 		opsAddr   = fs.String("ops", "", "serve a live ops endpoint on this address while the run executes: Prometheus /metrics, /progress JSON, /debug/pprof")
 	)
@@ -138,6 +140,7 @@ func run(args []string, w io.Writer) error {
 		return runSharded(w, topo, scheduler, schedOpts, opsSrv, shardedOptions{
 			schedName: *schedName, load: *load, queryFrac: *queryFrac,
 			duration: *duration, seed: *seed, shards: *shards,
+			barrierEvery: *barrier, workers: *workers,
 			timelinePath: *timeline, tracePath: *tracePath,
 			traceWall: *traceWall, jsonOut: *jsonOut,
 		})
@@ -347,6 +350,8 @@ type shardedOptions struct {
 	duration     float64
 	seed         uint64
 	shards       int
+	barrierEvery int
+	workers      int
 	timelinePath string
 	tracePath    string
 	traceWall    bool
@@ -366,6 +371,8 @@ func runSharded(w io.Writer, topo *basrpt.Topology, _ basrpt.Scheduler, schedOpt
 		Duration:          opt.duration,
 		Seed:              opt.seed,
 		Shards:            opt.shards,
+		BarrierEvery:      opt.barrierEvery,
+		Workers:           opt.workers,
 	}
 	var traceFile *os.File
 	var traceWriter *basrpt.TraceWriter
@@ -400,6 +407,14 @@ func runSharded(w io.Writer, topo *basrpt.Topology, _ basrpt.Scheduler, schedOpt
 				opsSrv.PublishRun(basrpt.OpsRunState{
 					SimTimeS: p.SimTime, DurationS: p.Duration, Windows: p.Window + 1,
 					Decisions: p.Decisions, ArrivedFlows: p.ArrivedFlows, CompletedFlows: p.CompletedFlows,
+				})
+				opsSrv.PublishShard(basrpt.OpsShardState{
+					Barriers:          p.Barrier + 1,
+					WindowsPerBarrier: p.WindowsPerBarrier,
+					Cells:             p.Cells,
+					Workers:           p.Workers,
+					CellBusyNs:        p.CellBusyNs,
+					CellWaitNs:        p.CellWaitNs,
 				})
 			}
 		} else {

@@ -8,7 +8,7 @@ import (
 
 func TestRunShardBenchSmall(t *testing.T) {
 	scale := Scale{Racks: 3, HostsPerRack: 4, Duration: 0.01, Seed: 1}
-	res, err := RunShardBench(scale, 0.6, 4)
+	res, err := RunShardBench(scale, ShardBenchOptions{Load: 0.6, MaxShards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,9 +28,29 @@ func TestRunShardBenchSmall(t *testing.T) {
 		if row.Decisions == 0 || row.DecisionsPerSec <= 0 || row.WallSeconds <= 0 {
 			t.Fatalf("degenerate row %+v", row)
 		}
+		if row.DurationSeconds != scale.Duration {
+			t.Fatalf("uncapped row ran %gs, want %g", row.DurationSeconds, scale.Duration)
+		}
 	}
 	if res.Rows[0].SpeedupVsCentralized != 1 {
 		t.Fatalf("centralized speedup = %g, want 1", res.Rows[0].SpeedupVsCentralized)
+	}
+	// The parallel-speedup field is first-class per decomposed row (1.0
+	// by definition at 2 shards) and absent on the centralized arm, and
+	// decomposed rows carry the imbalance attribution.
+	if res.Rows[0].ParallelSpeedup != 0 || res.Rows[0].Imbalance != nil {
+		t.Fatalf("centralized row grew decomposed-only fields: %+v", res.Rows[0])
+	}
+	if res.Rows[1].ParallelSpeedup != 1 {
+		t.Fatalf("2-shard parallel speedup = %g, want 1", res.Rows[1].ParallelSpeedup)
+	}
+	if res.Rows[2].ParallelSpeedup <= 0 {
+		t.Fatalf("widest parallel speedup missing: %+v", res.Rows[2])
+	}
+	for _, row := range res.Rows[1:] {
+		if row.Imbalance == nil || row.Imbalance.Barriers <= 0 || row.Imbalance.WindowsPerBarrier <= 0 {
+			t.Fatalf("decomposed row lacks imbalance attribution: %+v", row)
+		}
 	}
 	if out := res.Render(); !strings.Contains(out, "Shard scaling") {
 		t.Fatalf("render missing title:\n%s", out)
@@ -43,16 +63,68 @@ func TestRunShardBenchSmall(t *testing.T) {
 	if err := res.CheckBudget(ShardBudget{MinSpeedupAtMaxShards: 1e9}); err == nil {
 		t.Fatal("absurd speedup floor passed")
 	}
+	// The parallel floor reads the first-class field: forcing it below an
+	// absurd bound trips exactly when the machine has >= 4 CPUs.
+	err = res.CheckBudget(ShardBudget{MinParallelSpeedup: 1e9})
+	if res.CPUs >= 4 && err == nil {
+		t.Fatal("absurd parallel floor passed on a multi-core machine")
+	}
+	if res.CPUs < 4 && err != nil {
+		t.Fatalf("parallel floor enforced on a %d-CPU machine: %v", res.CPUs, err)
+	}
+}
+
+// TestRunShardBenchCentralizedCap pins the -centralized-duration
+// behavior: only the 1-shard arm's horizon shrinks, rates stay positive,
+// and the decomposed digests are unaffected.
+func TestRunShardBenchCentralizedCap(t *testing.T) {
+	scale := Scale{Racks: 3, HostsPerRack: 4, Duration: 0.01, Seed: 1}
+	full, err := RunShardBench(scale, ShardBenchOptions{Load: 0.6, MaxShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := RunShardBench(scale, ShardBenchOptions{
+		Load: 0.6, MaxShards: 2, CentralizedDuration: scale.Duration / 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := capped.Rows[0].DurationSeconds, scale.Duration/4; got != want {
+		t.Fatalf("centralized arm ran %gs, want %g", got, want)
+	}
+	if capped.Rows[0].Decisions >= full.Rows[0].Decisions {
+		t.Fatalf("capped centralized arm took %d decisions, full took %d",
+			capped.Rows[0].Decisions, full.Rows[0].Decisions)
+	}
+	if capped.Rows[1].DurationSeconds != scale.Duration {
+		t.Fatalf("decomposed arm was capped to %gs", capped.Rows[1].DurationSeconds)
+	}
+	if capped.Rows[1].Digest != full.Rows[1].Digest {
+		t.Fatal("centralized cap changed the decomposed digest")
+	}
+	// A cap at or above the horizon is a no-op.
+	uncapped, err := RunShardBench(scale, ShardBenchOptions{
+		Load: 0.6, MaxShards: 2, CentralizedDuration: scale.Duration * 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncapped.Rows[0].DurationSeconds != scale.Duration {
+		t.Fatalf("over-horizon cap clamped to %gs", uncapped.Rows[0].DurationSeconds)
+	}
 }
 
 func TestRunShardBenchValidation(t *testing.T) {
-	if _, err := RunShardBench(Scale{Racks: -1, HostsPerRack: 4, Duration: 0.01, Seed: 1}, 0.5, 4); !errors.Is(err, ErrScale) {
+	if _, err := RunShardBench(Scale{Racks: -1, HostsPerRack: 4, Duration: 0.01, Seed: 1}, ShardBenchOptions{Load: 0.5, MaxShards: 4}); !errors.Is(err, ErrScale) {
 		t.Fatalf("negative racks accepted or wrong error: %v", err)
 	}
-	if _, err := RunShardBench(Scale{Racks: 2, HostsPerRack: 4, Duration: 0.01, Seed: 1}, 1.5, 4); err == nil {
+	if _, err := RunShardBench(Scale{Racks: 2, HostsPerRack: 4, Duration: 0.01, Seed: 1}, ShardBenchOptions{Load: 1.5, MaxShards: 4}); err == nil {
 		t.Fatal("load 1.5 accepted")
 	}
-	if _, err := RunShardBench(Scale{Racks: 2, HostsPerRack: 4, Duration: 0.01, Seed: 1}, 0.5, 1); err == nil {
+	if _, err := RunShardBench(Scale{Racks: 2, HostsPerRack: 4, Duration: 0.01, Seed: 1}, ShardBenchOptions{Load: 0.5, MaxShards: 1}); err == nil {
 		t.Fatal("max shards 1 accepted")
+	}
+	if _, err := RunShardBench(Scale{Racks: 2, HostsPerRack: 4, Duration: 0.01, Seed: 1}, ShardBenchOptions{CentralizedDuration: -1}); err == nil {
+		t.Fatal("negative centralized duration accepted")
 	}
 }

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"basrpt/internal/eventq"
@@ -28,6 +28,27 @@ var ErrShardConfig = errors.New("fabricsim: invalid shard configuration")
 // machinery (Checkpoint, Resume, CheckpointSink) applies unchanged.
 var ErrShardUnsupported = errors.New("fabricsim: unsupported in decomposed mode")
 
+// DefaultBarrierEvery is the decomposed engine's default window batch:
+// how many consecutive lookahead windows every cell advances through
+// between coordinator barriers when ShardConfig.BarrierEvery is zero.
+// Results are byte-identical for every batch size; the knob trades
+// barrier-synchronization overhead against cross-rack routing latency
+// tolerance (messages are still delivered on the exact same simulated
+// clock — see the prefetch contract on shardCell.prefetch).
+const DefaultBarrierEvery = 8
+
+// DefaultRepackEvery is the default imbalance-repack period in barriers:
+// how often the worker pool re-packs cells onto workers by measured busy
+// time when ShardConfig.RepackEvery is zero. The schedule is keyed on
+// the barrier index — never on wall clock — so repacking changes which
+// goroutine runs a cell but never what the cell computes.
+const DefaultRepackEvery = 16
+
+// timeEps is the simulated-clock slack used when matching event times:
+// arrivals within timeEps of `now` are admitted at `now` (identical to
+// the centralized engine's admission slack).
+const timeEps = 1e-12
+
 // ShardConfig parameterizes a sharded fabric run. It is the topology-
 // aware sibling of Config: instead of receiving pre-built scheduler and
 // generator instances, it receives the recipe (registry name, options,
@@ -43,8 +64,10 @@ var ErrShardUnsupported = errors.New("fabricsim: unsupported in decomposed mode"
 //   - Shards >= 2 runs the decomposed conservative-PDES engine: one
 //     cell per rack, cross-rack arrivals delivered after the topology's
 //     CoreHopLatency lookahead. Results are byte-identical across ALL
-//     shard counts >= 2 — the shard count only groups rack cells onto
-//     worker goroutines and never changes the physics.
+//     shard counts >= 2, ALL BarrierEvery batch sizes, ALL Workers
+//     counts, and ALL RepackEvery schedules — those knobs only choose
+//     how rack cells are grouped onto worker goroutines and how often
+//     the goroutines synchronize, never the physics.
 //
 // The two families are not byte-identical to each other: decomposition
 // replaces the fabric-global crossbar matching with per-rack matchings
@@ -79,14 +102,34 @@ type ShardConfig struct {
 	// Seed drives the workload (and, via derivation, every per-cell
 	// stream). Must be nonzero.
 	Seed uint64
-	// Shards selects the engine family and the worker-goroutine count:
-	// 1 is the centralized engine, >= 2 the decomposed engine with
-	// min(Shards, racks) workers.
+	// Shards selects the engine family: 1 is the centralized engine,
+	// >= 2 the decomposed engine. In decomposed mode it also bounds the
+	// worker pool: the engine runs min(Shards, racks, Workers) persistent
+	// worker goroutines (Workers defaulting to GOMAXPROCS).
 	Shards int
+	// BarrierEvery is the decomposed engine's window batch: cells advance
+	// through this many consecutive lookahead windows between coordinator
+	// barriers. 0 selects DefaultBarrierEvery; 1 reproduces the dense
+	// per-window barrier schedule. Results are byte-identical for every
+	// value >= 1 (wall clock only). Ignored at Shards == 1.
+	BarrierEvery int
+	// Workers caps the decomposed engine's persistent worker goroutines;
+	// 0 defaults to GOMAXPROCS. The effective pool size is
+	// min(Shards, racks, Workers). Wall-clock plane only. Ignored at
+	// Shards == 1.
+	Workers int
+	// RepackEvery is the imbalance-repack period in barriers: every
+	// RepackEvery barriers the pool re-packs cells onto workers by
+	// cumulative measured busy time (greedy longest-processing-time).
+	// 0 selects DefaultRepackEvery; negative disables repacking. The
+	// schedule is keyed on the barrier index, so physics are untouched.
+	// Ignored at Shards == 1.
+	RepackEvery int
 	// Obs, when non-nil, receives the run's trace. In decomposed mode
-	// per-cell events are buffered during each window and replayed in
-	// deterministic (time, cell, sequence) merge order at the barrier,
-	// so traced runs stay byte-identical across shard counts.
+	// per-cell events are buffered during each batch and replayed
+	// window-by-window in deterministic (time, cell, sequence) merge
+	// order at the barrier, so traced runs stay byte-identical across
+	// shard counts and batch sizes.
 	Obs *obs.Obs
 	// ValidateDecisions re-checks the crossbar constraint on every
 	// decision (per cell in decomposed mode).
@@ -99,18 +142,19 @@ type ShardConfig struct {
 	// CheckpointSink receives each checkpoint; see Config.CheckpointSink.
 	CheckpointSink func(data []byte, simTime float64) error
 	// Timeline, when non-nil, records wall-clock spans for the decomposed
-	// engine — one "window" and one "barrier" span per cell per lookahead
-	// window plus coordinator "fold"/"route" spans — for Chrome
-	// trace_event export (obs.Timeline.WriteChromeTrace). Span ORDER is
-	// deterministic (rack order within each window); span times are
-	// wall-clock measurements. Ignored at Shards == 1.
+	// engine — per cell one "window" span per lookahead window plus one
+	// "batch" and one "barrier" span per barrier, and coordinator
+	// "fold"/"route" spans per barrier — for Chrome trace_event export
+	// (obs.Timeline.WriteChromeTrace). Span ORDER is deterministic (rack
+	// order within each barrier); span times are wall-clock measurements.
+	// Ignored at Shards == 1.
 	Timeline *obs.Timeline
 	// OnWindow, when non-nil, is called on the coordinating goroutine
-	// after every decomposed window barrier with the run's live position
-	// — the sharded engine's heartbeat for ops endpoints. Wall-clock
-	// plane only: results are byte-identical whether or not it is set.
-	// Ignored at Shards == 1 (use Config.OnProgress through the
-	// centralized path instead).
+	// after every decomposed barrier with the run's live position — the
+	// sharded engine's heartbeat for ops endpoints. Wall-clock plane
+	// only: results are byte-identical whether or not it is set. Ignored
+	// at Shards == 1 (use Config.OnProgress through the centralized path
+	// instead).
 	OnWindow func(ShardProgress)
 	// OnProgress, when non-nil, is forwarded to the centralized engine's
 	// sample-tick heartbeat (Config.OnProgress). Wall-clock plane only.
@@ -119,21 +163,34 @@ type ShardConfig struct {
 }
 
 // ShardProgress is the live heartbeat handed to ShardConfig.OnWindow
-// after each decomposed window barrier.
+// after each decomposed barrier.
 type ShardProgress struct {
-	// SimTime is the window's end on the simulated clock; Duration the
+	// SimTime is the barrier's end on the simulated clock; Duration the
 	// configured horizon.
 	SimTime  float64
 	Duration float64
-	// Window is the zero-based index of the window just completed, and
-	// Cells the number of PDES cells advancing in lockstep.
-	Window int
-	Cells  int
+	// Window is the zero-based index of the last lookahead window the
+	// barrier completed; Barrier the zero-based barrier index. With
+	// window batching one barrier completes several windows, so Window
+	// advances by BarrierEvery per beat.
+	Window  int
+	Barrier int
+	// WindowsPerBarrier is the cumulative mean batch width so far.
+	WindowsPerBarrier float64
+	// Cells is the number of PDES cells advancing in lockstep and
+	// Workers the persistent worker-goroutine count executing them.
+	Cells   int
+	Workers int
 	// Decisions, ArrivedFlows, and CompletedFlows are cumulative sums
 	// over all cells at the barrier.
 	Decisions      int64
 	ArrivedFlows   int
 	CompletedFlows int
+	// CellBusyNs and CellWaitNs are per-cell cumulative wall-clock
+	// busy/barrier-wait nanoseconds (copies; safe to retain). Wall-clock
+	// plane only.
+	CellBusyNs []int64
+	CellWaitNs []int64
 }
 
 // ShardImbalance is the decomposed engine's post-run wall-clock
@@ -143,22 +200,42 @@ type ShardProgress struct {
 // of a deterministic artifact.
 type ShardImbalance struct {
 	// Cells is the number of PDES cells (racks); Windows the number of
-	// lookahead windows the run advanced through.
-	Cells   int `json:"cells"`
-	Windows int `json:"windows"`
+	// lookahead windows the run advanced through; Barriers the number of
+	// coordinator barriers that synchronized them (Windows/BarrierEvery,
+	// up to rounding); WindowsPerBarrier their ratio; Workers the
+	// persistent worker-goroutine count.
+	Cells             int     `json:"cells"`
+	Windows           int     `json:"windows"`
+	Barriers          int     `json:"barriers"`
+	WindowsPerBarrier float64 `json:"windows_per_barrier"`
+	Workers           int     `json:"workers"`
 	// BusyNs[i] is cell i's total in-window execution time and
-	// BarrierWaitNs[i] its total time waiting at barriers for slower
-	// cells; SlowestWindows[i] counts windows cell i finished last.
-	BusyNs         []int64 `json:"busy_ns"`
-	BarrierWaitNs  []int64 `json:"barrier_wait_ns"`
-	SlowestWindows []int   `json:"slowest_windows"`
-	// SlowestCell is the cell that finished last in the most windows
+	// BarrierWaitNs[i] the wall time between cell i finishing its batch
+	// and the barrier releasing (this includes time the cell's own
+	// worker spent running sibling cells — see WorkerWaitNs for the true
+	// parallel loss); SlowestBarriers[i] counts barriers cell i finished
+	// last.
+	BusyNs          []int64 `json:"busy_ns"`
+	BarrierWaitNs   []int64 `json:"barrier_wait_ns"`
+	SlowestBarriers []int   `json:"slowest_barriers"`
+	// WorkerBusyNs[g] is worker g's total batch-execution wall time and
+	// WorkerWaitNs[g] its total time blocked at barriers for slower
+	// workers — the parallel-efficiency ledger.
+	WorkerBusyNs []int64 `json:"worker_busy_ns"`
+	WorkerWaitNs []int64 `json:"worker_wait_ns"`
+	// SlowestCell is the cell that finished last in the most barriers
 	// (lowest rack wins ties).
 	SlowestCell int `json:"slowest_cell"`
-	// BarrierWaitFraction is total barrier wait over total (busy + wait)
-	// cell time — the fraction of the fleet's wall clock lost to the
-	// lockstep, in [0, 1].
+	// BarrierWaitFraction is total worker barrier wait over total worker
+	// (busy + wait) time — the fraction of the pool's wall clock lost to
+	// the lockstep, in [0, 1]. 0 when a single worker runs every cell.
 	BarrierWaitFraction float64 `json:"barrier_wait_fraction"`
+	// CellWaitFraction is the per-cell analogue (cell gap time over cell
+	// busy + gap). It charges sibling-cell serialization on a shared
+	// worker as waiting, so it approaches (cells-1)/cells on small
+	// machines regardless of scheduling efficiency — kept for continuity
+	// with the pre-batching reports (EXPERIMENTS.md E17).
+	CellWaitFraction float64 `json:"cell_wait_fraction"`
 	// SkewRatio is the maximum per-cell busy time over the mean — 1.0
 	// for a perfectly balanced fabric.
 	SkewRatio float64 `json:"skew_ratio"`
@@ -169,19 +246,23 @@ func (im *ShardImbalance) String() string {
 	if im == nil || im.Cells == 0 {
 		return "imbalance: no decomposed windows recorded"
 	}
-	var totalBusy, totalWait, slowBusy int64
+	var totalBusy, slowBusy int64
 	for i := range im.BusyNs {
 		totalBusy += im.BusyNs[i]
-		totalWait += im.BarrierWaitNs[i]
 		if i == im.SlowestCell {
 			slowBusy = im.BusyNs[i]
 		}
 	}
+	var workerBusy, workerWait int64
+	for g := range im.WorkerBusyNs {
+		workerBusy += im.WorkerBusyNs[g]
+		workerWait += im.WorkerWaitNs[g]
+	}
 	return fmt.Sprintf(
-		"imbalance: %d cells x %d windows; busy %.1fms, barrier wait %.1fms (%.1f%% of cell time); skew ratio %.2f; slowest cell %d (last in %d windows, busy %.1fms)",
-		im.Cells, im.Windows,
-		float64(totalBusy)/1e6, float64(totalWait)/1e6, 100*im.BarrierWaitFraction,
-		im.SkewRatio, im.SlowestCell, im.SlowestWindows[im.SlowestCell], float64(slowBusy)/1e6)
+		"imbalance: %d cells x %d windows over %d barriers (%.1f windows/barrier, %d workers); busy %.1fms; worker wait %.1fms (%.1f%% of pool time); skew ratio %.2f; slowest cell %d (last at %d barriers, busy %.1fms)",
+		im.Cells, im.Windows, im.Barriers, im.WindowsPerBarrier, im.Workers,
+		float64(totalBusy)/1e6, float64(workerWait)/1e6, 100*im.BarrierWaitFraction,
+		im.SkewRatio, im.SlowestCell, im.SlowestBarriers[im.SlowestCell], float64(slowBusy)/1e6)
 }
 
 // cellIDShift positions the source-rack tag inside a decomposed flow ID:
@@ -209,6 +290,12 @@ func RunShard(cfg ShardConfig) (*Result, error) {
 	}
 	if cfg.Seed == 0 {
 		return nil, fmt.Errorf("%w: seed must be nonzero", ErrShardConfig)
+	}
+	if cfg.BarrierEvery < 0 {
+		return nil, fmt.Errorf("%w: barrier-every %d < 0", ErrShardConfig, cfg.BarrierEvery)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers %d < 0", ErrShardConfig, cfg.Workers)
 	}
 	hosts := cfg.Topology.NumHosts()
 	if cfg.MonitorPort < 0 || cfg.MonitorPort >= hosts {
@@ -298,7 +385,7 @@ type routedMsg struct {
 }
 
 // cellSample is one queue-sample tick recorded by a cell, folded into
-// the global series at the window barrier.
+// the global series at the barrier.
 type cellSample struct {
 	t       float64
 	monitor float64 // monitored port's backlog; owner cell only
@@ -317,10 +404,19 @@ type cellDone struct {
 	class string
 }
 
+// localArrival is one prefetched intra-rack arrival waiting in a cell's
+// local queue, carrying the flow ID minted at generation time (IDs are
+// allocated in stream order, local and cross-rack alike, so prefetch
+// depth never changes an ID).
+type localArrival struct {
+	a  workload.Arrival
+	id flow.ID
+}
+
 // shardCell is one rack's private simulator: its own VOQ table (rack
 // hosts plus one core-proxy ingress port per core switch), scheduler
 // instance, workload stream, metrics, and flow pool. Cells only ever
-// touch their own state inside a window; all cross-cell traffic moves
+// touch their own state inside a batch; all cross-cell traffic moves
 // through the outbox/inbox exchange at barriers on the main goroutine.
 type shardCell struct {
 	rack    int
@@ -341,10 +437,16 @@ type shardCell struct {
 	validator   sched.Validator
 	validate    bool
 
-	gen          *workload.Mixed
-	hasLocal     bool
-	pendingLocal workload.Arrival
-	localID      flow.ID
+	// Workload prefetch state: the cell pulls its stream eagerly up to
+	// each batch's horizon (see prefetch), queueing intra-rack arrivals
+	// in localQ (consumed positionally) and diverting cross-rack ones to
+	// the outbox. genT is the time of the last pulled arrival; genDone
+	// marks stream exhaustion.
+	gen      *workload.Mixed
+	localQ   []localArrival
+	localPos int
+	genT     float64
+	genDone  bool
 
 	inbox    []routedMsg
 	inboxPos int
@@ -372,6 +474,12 @@ type shardCell struct {
 	remoteSrc map[flow.ID]int // proxy-admitted flow -> global source
 	samples   []cellSample
 	dones     []cellDone
+	// sampleMarks/doneMarks record the cumulative samples/dones length at
+	// the end of each window in the current batch, so the barrier fold
+	// can replay trace events window-by-window — byte-identical to the
+	// dense per-window barrier schedule.
+	sampleMarks []int
+	doneMarks   []int
 
 	// reg is the cell's private deterministic-plane registry; its
 	// snapshot survives into Result.ShardObs. The resolved instruments
@@ -383,14 +491,14 @@ type shardCell struct {
 	cWindows       *obs.Counter
 
 	// Wall-clock plane: the worker stamps each window's start/duration
-	// (nanoseconds since the run origin); the coordinator reads them
-	// after the barrier join, so no synchronization beyond the WaitGroup
-	// is needed.
-	winStartNs    int64
-	winDurNs      int64
-	busyNs        int64
-	barrierWaitNs int64
-	slowestWins   int
+	// (nanoseconds since the run origin) into winStarts/winDurs; the
+	// coordinator reads them after the barrier join, so no extra
+	// synchronization beyond the join is needed.
+	winStarts       []int64
+	winDurs         []int64
+	busyNs          int64
+	barrierWaitNs   int64
+	slowestBarriers int
 
 	err error
 }
@@ -407,23 +515,45 @@ func (c *shardCell) allocID() flow.ID {
 	return flow.ID(uint64(c.rack+1)<<cellIDShift | c.nextSeq)
 }
 
-// fetchLocal pulls the cell's workload stream until it finds the next
-// intra-rack arrival, diverting every cross-rack arrival to the outbox
-// at its delivery time (generation time plus the lookahead). Messages
-// that could not arrive before the horizon are dropped, mirroring the
-// centralized engine's refusal to admit arrivals at t >= Duration.
-// IDs are allocated in stream order, local and cross-rack alike.
-func (c *shardCell) fetchLocal() {
-	for {
+// prefetch pulls the cell's workload stream through time `to`: every
+// intra-rack arrival is queued on localQ (with its stream-order flow
+// ID) and every cross-rack arrival is diverted to the outbox at its
+// delivery time (generation time plus the lookahead; messages that
+// could not arrive before the horizon are dropped, mirroring the
+// centralized engine's refusal to admit arrivals at t >= Duration).
+//
+// This is the sparse-barrier enabler: calling prefetch(batchEnd) before
+// a batch guarantees that any cross-rack message materialized LATER —
+// by a deeper prefetch or by the next batch — was generated at or after
+// batchEnd and therefore delivers at or after batchEnd + lookahead,
+// strictly beyond every window the batch will run. Skipped intra-batch
+// barriers consequently had nothing to route, and one routing pass with
+// the batch-end horizon replaces them exactly.
+//
+// Pull timing never changes the physics: IDs are minted in stream
+// order, the generator's internal event calendar is caller-agnostic,
+// and both queues are consumed by simulated time, so every batch size
+// admits every arrival at the identical instant.
+func (c *shardCell) prefetch(to float64) {
+	if c.localPos > 0 {
+		n := copy(c.localQ, c.localQ[c.localPos:])
+		c.localQ = c.localQ[:n]
+		c.localPos = 0
+	}
+	// The admission slack (timeEps) is part of the horizon: an arrival
+	// within timeEps past a window cap is admitted inside that window,
+	// so it must be materialized with the batch that runs the window.
+	for !c.genDone && c.genT <= to+timeEps {
 		a, ok := c.gen.Next()
 		if !ok {
-			c.hasLocal = false
+			c.genDone = true
 			return
 		}
+		c.genT = a.Time
 		id := c.allocID()
 		if a.Dst >= c.base && a.Dst < c.base+c.hpr {
-			c.pendingLocal, c.localID, c.hasLocal = a, id, true
-			return
+			c.localQ = append(c.localQ, localArrival{a: a, id: id})
+			continue
 		}
 		deliver := a.Time + c.look
 		if deliver >= c.dur {
@@ -450,17 +580,17 @@ func (c *shardCell) addFlow(id flow.ID, src, dst int, class flow.Class, size, ar
 	}
 }
 
-// admitLocal admits the pending intra-rack arrival and advances the
-// stream to the next one.
+// admitLocal admits the local queue's head arrival.
 func (c *shardCell) admitLocal() {
-	a := c.pendingLocal
+	la := c.localQ[c.localPos]
+	c.localPos++
+	a := la.a
 	src, dst := a.Src-c.base, a.Dst-c.base
 	if src < 0 || src >= c.hpr || dst < 0 || dst >= c.hpr || src == dst || a.Size <= 0 {
 		c.err = c.errorf("generator produced invalid local arrival %+v", a)
 		return
 	}
-	c.addFlow(c.localID, src, dst, a.Class, a.Size, a.Time, a.Src)
-	c.fetchLocal()
+	c.addFlow(la.id, src, dst, a.Class, a.Size, a.Time, a.Src)
 }
 
 // admitRemote admits a delivered cross-rack arrival through the
@@ -596,13 +726,16 @@ func (c *shardCell) sample() {
 // rescheduling only when the flow population changed. Events at
 // exactly capT are processed inside this window; window boundaries are
 // global multiples of the lookahead, so the split is identical for
-// every shard count.
+// every shard count and batch size. The inbox may hold deliveries
+// beyond capT (routing runs once per batch with the batch-end horizon);
+// they are invisible here because every consultation is gated on the
+// simulated clock.
 func (c *shardCell) runWindow(capT float64) {
 	c.cWindows.Inc()
 	for {
 		t := capT
-		if c.hasLocal && c.pendingLocal.Time < t {
-			t = c.pendingLocal.Time
+		if c.localPos < len(c.localQ) && c.localQ[c.localPos].a.Time < t {
+			t = c.localQ[c.localPos].a.Time
 		}
 		if c.inboxPos < len(c.inbox) && c.inbox[c.inboxPos].deliver < t {
 			t = c.inbox[c.inboxPos].deliver
@@ -621,16 +754,16 @@ func (c *shardCell) runWindow(capT float64) {
 			reschedule = true
 		}
 		for !done && c.err == nil {
-			localReady := c.hasLocal && c.pendingLocal.Time <= c.now+1e-12
-			inboxReady := c.inboxPos < len(c.inbox) && c.inbox[c.inboxPos].deliver <= c.now+1e-12
+			localReady := c.localPos < len(c.localQ) && c.localQ[c.localPos].a.Time <= c.now+timeEps
+			inboxReady := c.inboxPos < len(c.inbox) && c.inbox[c.inboxPos].deliver <= c.now+timeEps
 			if !localReady && !inboxReady {
 				break
 			}
 			pickLocal := localReady
 			if localReady && inboxReady {
 				in := c.inbox[c.inboxPos]
-				if in.deliver < c.pendingLocal.Time ||
-					(in.deliver == c.pendingLocal.Time && in.srcCell < c.rack) {
+				if in.deliver < c.localQ[c.localPos].a.Time ||
+					(in.deliver == c.localQ[c.localPos].a.Time && in.srcCell < c.rack) {
 					pickLocal = false
 				}
 			}
@@ -664,12 +797,183 @@ func (c *shardCell) runWindow(capT float64) {
 	}
 }
 
+// runTimedWindow stamps one window's wall-clock start and duration
+// around runWindow and records the fold marks (cumulative sample/done
+// counts) that let the barrier replay this window exactly.
+func (c *shardCell) runTimedWindow(capT float64, origin time.Time) {
+	start := time.Since(origin).Nanoseconds()
+	c.runWindow(capT)
+	dur := time.Since(origin).Nanoseconds() - start
+	c.winStarts = append(c.winStarts, start)
+	c.winDurs = append(c.winDurs, dur)
+	c.busyNs += dur
+	c.sampleMarks = append(c.sampleMarks, len(c.samples))
+	c.doneMarks = append(c.doneMarks, len(c.dones))
+}
+
+// runBatch advances the cell through every window of one batch, then
+// prefetches the next batch's workload (prefetchTo < 0 skips — final
+// batch). Runs on a pool worker; touches only cell-local state.
+func (c *shardCell) runBatch(capTs []float64, prefetchTo float64, origin time.Time) {
+	for _, capT := range capTs {
+		if c.err != nil {
+			return
+		}
+		c.runTimedWindow(capT, origin)
+	}
+	if prefetchTo >= 0 && c.err == nil {
+		c.prefetch(prefetchTo)
+	}
+}
+
+// poolCmd is one batch descriptor fed to every pool worker: the batch's
+// window caps (shared read-only) and the next batch's prefetch horizon.
+type poolCmd struct {
+	capTs      []float64
+	prefetchTo float64
+}
+
+// poolWorker is one persistent worker goroutine of the decomposed
+// engine: it owns a (repackable) set of cells and executes batch
+// commands from the coordinator. Lifetime spans the whole run — no
+// per-window goroutine churn. The stamps and accumulators are
+// wall-clock plane; the coordinator reads them between the ack and the
+// next command, which the channel handoffs order.
+type poolWorker struct {
+	id    int
+	cells []*shardCell
+	cmds  chan poolCmd
+	ack   chan struct{}
+
+	startNs int64 // current batch start (since run origin)
+	endNs   int64 // current batch end
+	busyNs  int64 // cumulative batch-execution time
+	waitNs  int64 // cumulative barrier-blocked time
+}
+
+// exec runs one batch over the worker's cells, stamping the batch span.
+func (wk *poolWorker) exec(cmd poolCmd, origin time.Time) {
+	wk.startNs = time.Since(origin).Nanoseconds()
+	for _, c := range wk.cells {
+		c.runBatch(cmd.capTs, cmd.prefetchTo, origin)
+	}
+	wk.endNs = time.Since(origin).Nanoseconds()
+}
+
+// shardPool is the decomposed engine's persistent worker pool. With one
+// worker the coordinator executes batches inline (no goroutines); with
+// more, each worker loops on its command channel until stop closes it.
+type shardPool struct {
+	workers []*poolWorker
+	cells   []*shardCell
+	origin  time.Time
+	inline  bool
+}
+
+// newShardPool partitions the cells into contiguous rack-order spans
+// across `workers` persistent goroutines and starts them. The grouping
+// affects wall clock only, never results.
+func newShardPool(cells []*shardCell, workers int, origin time.Time) *shardPool {
+	p := &shardPool{origin: origin, cells: cells, inline: workers <= 1}
+	per := (len(cells) + workers - 1) / workers
+	for lo := 0; lo < len(cells); lo += per {
+		hi := lo + per
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		wk := &poolWorker{
+			id:    len(p.workers),
+			cells: cells[lo:hi:hi],
+			cmds:  make(chan poolCmd),
+			ack:   make(chan struct{}),
+		}
+		p.workers = append(p.workers, wk)
+	}
+	if !p.inline {
+		for _, wk := range p.workers {
+			go func(wk *poolWorker) {
+				for cmd := range wk.cmds {
+					wk.exec(cmd, origin)
+					wk.ack <- struct{}{}
+				}
+			}(wk)
+		}
+	}
+	return p
+}
+
+// runBatch dispatches one batch to every worker and blocks until all
+// have finished — the coordinator barrier.
+func (p *shardPool) runBatch(capTs []float64, prefetchTo float64) {
+	cmd := poolCmd{capTs: capTs, prefetchTo: prefetchTo}
+	if p.inline {
+		p.workers[0].exec(cmd, p.origin)
+		return
+	}
+	for _, wk := range p.workers {
+		wk.cmds <- cmd
+	}
+	for _, wk := range p.workers {
+		<-wk.ack
+	}
+}
+
+// stop terminates the worker goroutines. Safe to call once, after the
+// final barrier.
+func (p *shardPool) stop() {
+	if p.inline {
+		return
+	}
+	for _, wk := range p.workers {
+		close(wk.cmds)
+	}
+}
+
+// repack reassigns cells to workers by cumulative measured busy time:
+// greedy longest-processing-time packing (heaviest cell first onto the
+// least-loaded worker). Called between barriers on a schedule keyed on
+// the barrier index; the assignment feeds wall-clock placement only, so
+// using measured (machine-dependent) busy time is sound — results are
+// byte-identical under every packing.
+func (p *shardPool) repack() {
+	if len(p.workers) <= 1 {
+		return
+	}
+	order := make([]int, len(p.cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.cells[order[a]].busyNs > p.cells[order[b]].busyNs
+	})
+	loads := make([]int64, len(p.workers))
+	assign := make([][]*shardCell, len(p.workers))
+	for _, ci := range order {
+		g := 0
+		for h := 1; h < len(loads); h++ {
+			if loads[h] < loads[g] {
+				g = h
+			}
+		}
+		assign[g] = append(assign[g], p.cells[ci])
+		loads[g] += p.cells[ci].busyNs
+	}
+	for g, wk := range p.workers {
+		// Keep each worker's cells in rack order for cache-friendly
+		// iteration; membership, not order, carries the balance.
+		sort.Slice(assign[g], func(a, b int) bool { return assign[g][a].rack < assign[g][b].rack })
+		wk.cells = assign[g]
+	}
+}
+
 // runDecomposed is the Shards >= 2 family: one cell per rack advancing
-// in lockstep windows of the topology's CoreHopLatency, cross-rack
-// arrivals exchanged at full barriers. Every barrier-side fold (message
-// routing, trace replay, series and metric merges) runs on the calling
-// goroutine in rack order, so results are a pure function of the
-// configuration — independent of shard count and GOMAXPROCS.
+// in lockstep lookahead windows, batched BarrierEvery windows per
+// coordinator barrier, executed by a persistent worker pool. Every
+// barrier-side fold (message routing, window-by-window trace replay,
+// series and metric merges) runs on the calling goroutine in rack
+// order, so results are a pure function of the configuration —
+// independent of shard count, batch size, worker count, repack
+// schedule, and GOMAXPROCS.
 func runDecomposed(cfg ShardConfig) (*Result, error) {
 	topo := cfg.Topology
 	tc := topo.Config()
@@ -677,6 +981,29 @@ func runDecomposed(cfg ShardConfig) (*Result, error) {
 	numCells := tc.Racks
 	hpr := tc.HostsPerRack
 
+	batch := cfg.BarrierEvery
+	if batch == 0 {
+		batch = DefaultBarrierEvery
+	}
+	repackEvery := cfg.RepackEvery
+	if repackEvery == 0 {
+		repackEvery = DefaultRepackEvery
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+	if workers > numCells {
+		workers = numCells
+	}
+
+	firstEnd := float64(batch) * look
+	if firstEnd > cfg.Duration {
+		firstEnd = cfg.Duration
+	}
 	cells := make([]*shardCell, numCells)
 	for r := range cells {
 		opts := cfg.SchedOpts
@@ -733,7 +1060,7 @@ func runDecomposed(cfg ShardConfig) (*Result, error) {
 		c.cMsgsSent = c.reg.Counter("cell.msgs_sent")
 		c.cMsgsDelivered = c.reg.Counter("cell.msgs_delivered")
 		c.cWindows = c.reg.Counter("cell.windows")
-		c.fetchLocal()
+		c.prefetch(firstEnd)
 		cells[r] = c
 	}
 
@@ -743,132 +1070,154 @@ func runDecomposed(cfg ShardConfig) (*Result, error) {
 		Duration:      cfg.Duration,
 		SchedulerName: cells[0].scheduler.Name(),
 	}
-	groups := cfg.Shards
-	if groups > numCells {
-		groups = numCells
-	}
 	// Wall-clock plane: every cell-window is stamped against this origin
 	// (two clock reads per cell-window — cheap enough to keep always-on),
 	// feeding the barrier-wait accounting, the imbalance report, and the
 	// optional Timeline.
 	origin := time.Now()
-	windows := 0
-	for w := 0; ; w++ {
-		capT := float64(w+1) * look
-		if capT > cfg.Duration {
-			capT = cfg.Duration
+	pool := newShardPool(cells, workers, origin)
+	defer pool.stop()
+
+	capTs := make([]float64, 0, batch)
+	w, windows, barriers := 0, 0, 0
+	for b := 0; ; b++ {
+		if repackEvery > 0 && b > 0 && b%repackEvery == 0 {
+			pool.repack()
 		}
-		runWindowParallel(cells, groups, capT, origin)
+		capTs = capTs[:0]
+		for j := 0; j < batch; j++ {
+			capT := float64(w+j+1) * look
+			if capT >= cfg.Duration {
+				capTs = append(capTs, cfg.Duration)
+				break
+			}
+			capTs = append(capTs, capT)
+		}
+		end := capTs[len(capTs)-1]
+		last := end >= cfg.Duration
+		prefetchTo := -1.0
+		if !last {
+			// One window past the next batch's widest possible end is still
+			// safe (deeper prefetch only moves messages into outboxes
+			// earlier); what matters is covering at least the next batch.
+			next := float64(w+len(capTs)+batch) * look
+			if next > cfg.Duration {
+				next = cfg.Duration
+			}
+			prefetchTo = next
+		}
+		// Route before the batch: one pass with the batch-end horizon
+		// replaces the skipped intra-batch barriers — by the prefetch
+		// contract every message deliverable inside the batch is already
+		// in an outbox. The horizon carries the admission slack so a
+		// message within timeEps of a window cap lands with the batch
+		// that admits it, at every batch size.
+		routeStart := time.Since(origin).Nanoseconds()
+		routeOutboxes(cells, end+2*timeEps, hpr)
+		cfg.Timeline.Add(obs.TimelineSpan{
+			Track: obs.TimelineCoordinator, Name: "route", Window: b,
+			StartNs: routeStart, DurNs: time.Since(origin).Nanoseconds() - routeStart,
+		})
+		pool.runBatch(capTs, prefetchTo)
 		for _, c := range cells {
 			if c.err != nil {
 				return nil, c.err
 			}
 		}
-		windows++
-		accountWindow(cells, w, cfg.Timeline)
+		windows += len(capTs)
+		barriers++
+		accountBatch(cells, pool, b, w, cfg.Timeline)
 		foldStart := time.Since(origin).Nanoseconds()
-		if err := foldWindow(cells, res, cfg); err != nil {
+		if err := foldBatch(cells, res, cfg, len(capTs)); err != nil {
 			return nil, err
 		}
 		cfg.Timeline.Add(obs.TimelineSpan{
-			Track: obs.TimelineCoordinator, Name: "fold", Window: w,
+			Track: obs.TimelineCoordinator, Name: "fold", Window: b,
 			StartNs: foldStart, DurNs: time.Since(origin).Nanoseconds() - foldStart,
 		})
 		if cfg.OnWindow != nil {
 			p := ShardProgress{
-				SimTime: capT, Duration: cfg.Duration,
-				Window: w, Cells: numCells,
+				SimTime: end, Duration: cfg.Duration,
+				Window: w + len(capTs) - 1, Barrier: b,
+				WindowsPerBarrier: float64(windows) / float64(barriers),
+				Cells:             numCells, Workers: len(pool.workers),
+				CellBusyNs: make([]int64, numCells),
+				CellWaitNs: make([]int64, numCells),
 			}
-			for _, c := range cells {
+			for i, c := range cells {
 				p.Decisions += c.decisions
 				p.ArrivedFlows += c.arrivedFlows
 				p.CompletedFlows += c.completedFlows
+				p.CellBusyNs[i] = c.busyNs
+				p.CellWaitNs[i] = c.barrierWaitNs
 			}
 			cfg.OnWindow(p)
 		}
-		if capT >= cfg.Duration {
+		w += len(capTs)
+		if last {
 			break
 		}
-		routeStart := time.Since(origin).Nanoseconds()
-		routeOutboxes(cells, float64(w+2)*look, hpr)
-		cfg.Timeline.Add(obs.TimelineSpan{
-			Track: obs.TimelineCoordinator, Name: "route", Window: w,
-			StartNs: routeStart, DurNs: time.Since(origin).Nanoseconds() - routeStart,
-		})
 	}
-	return mergeCells(cells, res, cfg, windows)
+	return mergeCells(cells, res, cfg, windows, barriers, pool)
 }
 
-// accountWindow folds one window's wall-clock stamps into the per-cell
-// busy/barrier-wait accumulators and, when a Timeline is attached,
-// records the window's spans in rack order — a deterministic span
-// sequence regardless of how the worker goroutines interleaved. The
-// barrier is modeled as ending when the window's slowest cell finished
-// (the coordinator's own fold work is tracked separately).
-func accountWindow(cells []*shardCell, w int, tl *obs.Timeline) {
-	windowEnd := int64(0)
-	slowest := 0
+// accountBatch folds one batch's wall-clock stamps into the per-cell
+// and per-worker busy/barrier-wait accumulators and, when a Timeline is
+// attached, records the batch's spans in rack order — a deterministic
+// span sequence regardless of how the worker goroutines interleaved.
+// The barrier is modeled as ending when the slowest worker finished its
+// batch (the coordinator's own fold work is tracked separately).
+func accountBatch(cells []*shardCell, pool *shardPool, barrier, firstWindow int, tl *obs.Timeline) {
+	barrierEnd := int64(0)
+	for _, wk := range pool.workers {
+		if wk.endNs > barrierEnd {
+			barrierEnd = wk.endNs
+		}
+	}
+	for _, wk := range pool.workers {
+		wk.busyNs += wk.endNs - wk.startNs
+		wk.waitNs += barrierEnd - wk.endNs
+	}
+	slowest, slowestEnd := 0, int64(0)
 	for i, c := range cells {
-		if end := c.winStartNs + c.winDurNs; end > windowEnd {
-			windowEnd = end
-			slowest = i
-		}
-	}
-	cells[slowest].slowestWins++
-	for _, c := range cells {
-		end := c.winStartNs + c.winDurNs
-		wait := windowEnd - end
-		c.busyNs += c.winDurNs
-		c.barrierWaitNs += wait
-		tl.Add(obs.TimelineSpan{Track: c.rack, Name: "window", Window: w, StartNs: c.winStartNs, DurNs: c.winDurNs})
-		tl.Add(obs.TimelineSpan{Track: c.rack, Name: "barrier", Window: w, StartNs: end, DurNs: wait})
-	}
-}
-
-// runWindowParallel executes one window across the cells, grouped onto
-// up to `groups` goroutines in contiguous rack-order spans. Cells share
-// nothing mutable during a window, so the only synchronization is the
-// join; the grouping affects wall clock only, never results.
-func runWindowParallel(cells []*shardCell, groups int, capT float64, origin time.Time) {
-	if groups <= 1 {
-		for _, c := range cells {
-			c.runTimedWindow(capT, origin)
-		}
-		return
-	}
-	per := (len(cells) + groups - 1) / groups
-	var wg sync.WaitGroup
-	for lo := 0; lo < len(cells); lo += per {
-		hi := lo + per
-		if hi > len(cells) {
-			hi = len(cells)
-		}
-		wg.Add(1)
-		go func(part []*shardCell) {
-			defer wg.Done()
-			for _, c := range part {
-				c.runTimedWindow(capT, origin)
+		if n := len(c.winStarts); n > 0 {
+			if end := c.winStarts[n-1] + c.winDurs[n-1]; end > slowestEnd {
+				slowestEnd = end
+				slowest = i
 			}
-		}(cells[lo:hi])
+		}
 	}
-	wg.Wait()
-}
-
-// runTimedWindow stamps one window's wall-clock start and duration
-// around runWindow for the busy/barrier-wait accounting.
-func (c *shardCell) runTimedWindow(capT float64, origin time.Time) {
-	c.winStartNs = time.Since(origin).Nanoseconds()
-	c.runWindow(capT)
-	c.winDurNs = time.Since(origin).Nanoseconds() - c.winStartNs
+	cells[slowest].slowestBarriers++
+	for _, c := range cells {
+		n := len(c.winStarts)
+		for j := 0; j < n; j++ {
+			tl.Add(obs.TimelineSpan{Track: c.rack, Name: "window", Window: firstWindow + j,
+				StartNs: c.winStarts[j], DurNs: c.winDurs[j]})
+		}
+		cellStart, cellEnd := int64(0), int64(0)
+		if n > 0 {
+			cellStart = c.winStarts[0]
+			cellEnd = c.winStarts[n-1] + c.winDurs[n-1]
+		}
+		tl.Add(obs.TimelineSpan{Track: c.rack, Name: "batch", Window: barrier,
+			StartNs: cellStart, DurNs: cellEnd - cellStart})
+		wait := barrierEnd - cellEnd
+		c.barrierWaitNs += wait
+		tl.Add(obs.TimelineSpan{Track: c.rack, Name: "barrier", Window: barrier,
+			StartNs: cellEnd, DurNs: wait})
+		c.winStarts = c.winStarts[:0]
+		c.winDurs = c.winDurs[:0]
+	}
 }
 
 // routeOutboxes moves every cross-rack message deliverable before
-// `horizon` (exclusive — the end of the NEXT window) from source
-// outboxes into destination inboxes in global (delivery time, source
-// cell, outbox order) order. By the conservative-lookahead argument,
-// every such message already exists: a message delivered before
-// (w+2)·L was generated before (w+1)·L, inside a window that has fully
-// run. Later barriers only append later deliveries, so inboxes stay
+// `horizon` (exclusive — the end of the batch about to run, plus the
+// admission slack) from source outboxes into destination inboxes in
+// global (delivery time, source cell, outbox order) order. By the
+// conservative-lookahead argument every such message already exists: a
+// message delivered inside a batch was generated at least one lookahead
+// earlier, inside the horizon the previous barrier's prefetch pulled
+// through. Later barriers only append later deliveries, so inboxes stay
 // sorted under positional consumption.
 func routeOutboxes(cells []*shardCell, horizon float64, hpr int) {
 	for _, c := range cells {
@@ -901,34 +1250,72 @@ func routeOutboxes(cells []*shardCell, horizon float64, hpr int) {
 	}
 }
 
-// foldWindow merges the window's per-cell sample ticks into the global
-// series and replays buffered trace events in deterministic order:
-// completions sorted by (time, cell, cell-local sequence), interleaved
-// before each tick's sample.queue / sample.total / sample.maxport
-// triplet exactly as the centralized engine orders them.
-func foldWindow(cells []*shardCell, res *Result, cfg ShardConfig) error {
-	nticks := len(cells[0].samples)
+// foldBatch replays one batch window-by-window through foldWindowSeg —
+// byte-identical to folding at dense per-window barriers — then resets
+// the per-cell buffers.
+func foldBatch(cells []*shardCell, res *Result, cfg ShardConfig, nwin int) error {
+	for k := 0; k < nwin; k++ {
+		if err := foldWindowSeg(cells, res, cfg, k); err != nil {
+			return err
+		}
+	}
 	for _, c := range cells {
-		if len(c.samples) != nticks {
+		c.samples = c.samples[:0]
+		c.dones = c.dones[:0]
+		c.sampleMarks = c.sampleMarks[:0]
+		c.doneMarks = c.doneMarks[:0]
+	}
+	return nil
+}
+
+// sampleSeg returns the cell's sample slice for window k of the current
+// batch, delimited by the fold marks runTimedWindow recorded.
+func (c *shardCell) sampleSeg(k int) []cellSample {
+	lo := 0
+	if k > 0 {
+		lo = c.sampleMarks[k-1]
+	}
+	return c.samples[lo:c.sampleMarks[k]]
+}
+
+// doneSeg returns the cell's completion-event slice for window k of the
+// current batch.
+func (c *shardCell) doneSeg(k int) []cellDone {
+	lo := 0
+	if k > 0 {
+		lo = c.doneMarks[k-1]
+	}
+	return c.dones[lo:c.doneMarks[k]]
+}
+
+// foldWindowSeg merges one window's per-cell sample ticks into the
+// global series and replays buffered trace events in deterministic
+// order: completions sorted by (time, cell, cell-local sequence),
+// interleaved before each tick's sample.queue / sample.total /
+// sample.maxport triplet exactly as the centralized engine orders them.
+func foldWindowSeg(cells []*shardCell, res *Result, cfg ShardConfig, k int) error {
+	ref := cells[0].sampleSeg(k)
+	nticks := len(ref)
+	for _, c := range cells {
+		if n := len(c.sampleSeg(k)); n != nticks {
 			return fmt.Errorf("fabricsim shard: cell %d recorded %d sample ticks, cell 0 recorded %d",
-				c.rack, len(c.samples), nticks)
+				c.rack, n, nticks)
 		}
 	}
 	var merged []cellDone
 	if cfg.Obs != nil {
 		for _, c := range cells {
-			merged = append(merged, c.dones...)
-			c.dones = c.dones[:0]
+			merged = append(merged, c.doneSeg(k)...)
 		}
 		sort.SliceStable(merged, func(i, j int) bool { return merged[i].t < merged[j].t })
 	}
 	di := 0
-	for k := 0; k < nticks; k++ {
-		t := cells[0].samples[k].t
+	for i := 0; i < nticks; i++ {
+		t := ref[i].t
 		var queue, total float64
-		maxPort, maxB := cells[0].samples[k].maxPort, cells[0].samples[k].maxB
+		maxPort, maxB := ref[i].maxPort, ref[i].maxB
 		for _, c := range cells {
-			s := c.samples[k]
+			s := c.sampleSeg(k)[i]
 			total += s.total
 			if c.monitor >= 0 {
 				queue = s.monitor
@@ -952,9 +1339,6 @@ func foldWindow(cells []*shardCell, res *Result, cfg ShardConfig) error {
 		cfg.Obs.Emit(merged[di].t, "flow.done", merged[di].src, merged[di].fct, merged[di].class)
 		di++
 	}
-	for _, c := range cells {
-		c.samples = c.samples[:0]
-	}
 	return nil
 }
 
@@ -963,7 +1347,7 @@ func foldWindow(cells []*shardCell, res *Result, cfg ShardConfig) error {
 // (FCT sums, sample order, throughput buckets) a pure function of the
 // per-cell streams — and seals the instrumentation registry the way
 // the centralized finish() does.
-func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig, windows int) (*Result, error) {
+func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig, windows, barriers int, pool *shardPool) (*Result, error) {
 	reg := cfg.Obs.Registry()
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -1008,11 +1392,16 @@ func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig, windows int) (
 	// order. The global registry gets the wall-clock totals and the
 	// Result gets the imbalance report.
 	im := &ShardImbalance{
-		Cells:          len(cells),
-		Windows:        windows,
-		BusyNs:         make([]int64, len(cells)),
-		BarrierWaitNs:  make([]int64, len(cells)),
-		SlowestWindows: make([]int, len(cells)),
+		Cells:             len(cells),
+		Windows:           windows,
+		Barriers:          barriers,
+		WindowsPerBarrier: float64(windows) / float64(barriers),
+		Workers:           len(pool.workers),
+		BusyNs:            make([]int64, len(cells)),
+		BarrierWaitNs:     make([]int64, len(cells)),
+		SlowestBarriers:   make([]int, len(cells)),
+		WorkerBusyNs:      make([]int64, len(pool.workers)),
+		WorkerWaitNs:      make([]int64, len(pool.workers)),
 	}
 	var totalBusy, totalWait, maxBusy int64
 	for i, c := range cells {
@@ -1023,8 +1412,8 @@ func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig, windows int) (
 		res.ShardObs = append(res.ShardObs, c.reg.Snapshot())
 		im.BusyNs[i] = c.busyNs
 		im.BarrierWaitNs[i] = c.barrierWaitNs
-		im.SlowestWindows[i] = c.slowestWins
-		if c.slowestWins > im.SlowestWindows[im.SlowestCell] {
+		im.SlowestBarriers[i] = c.slowestBarriers
+		if c.slowestBarriers > im.SlowestBarriers[im.SlowestCell] {
 			im.SlowestCell = i
 		}
 		totalBusy += c.busyNs
@@ -1033,8 +1422,18 @@ func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig, windows int) (
 			maxBusy = c.busyNs
 		}
 	}
+	var workerBusy, workerWait int64
+	for g, wk := range pool.workers {
+		im.WorkerBusyNs[g] = wk.busyNs
+		im.WorkerWaitNs[g] = wk.waitNs
+		workerBusy += wk.busyNs
+		workerWait += wk.waitNs
+	}
+	if workerBusy+workerWait > 0 {
+		im.BarrierWaitFraction = float64(workerWait) / float64(workerBusy+workerWait)
+	}
 	if totalBusy+totalWait > 0 {
-		im.BarrierWaitFraction = float64(totalWait) / float64(totalBusy+totalWait)
+		im.CellWaitFraction = float64(totalWait) / float64(totalBusy+totalWait)
 	}
 	if totalBusy > 0 {
 		im.SkewRatio = float64(maxBusy) / (float64(totalBusy) / float64(len(cells)))
@@ -1042,6 +1441,10 @@ func mergeCells(cells []*shardCell, res *Result, cfg ShardConfig, windows int) (
 	res.Imbalance = im
 	reg.Counter("wall.busy_ns").Add(totalBusy)
 	reg.Counter("wall.barrier_wait_ns").Add(totalWait)
+	reg.Counter("wall.worker_busy_ns").Add(workerBusy)
+	reg.Counter("wall.worker_wait_ns").Add(workerWait)
+	reg.Gauge("wall.windows_per_barrier").Set(im.WindowsPerBarrier)
+	reg.Gauge("wall.workers").Set(float64(len(pool.workers)))
 
 	res.Obs = reg.Snapshot()
 	return res, nil

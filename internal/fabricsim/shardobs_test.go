@@ -159,19 +159,31 @@ func TestShardTimelineOrderingInvariance(t *testing.T) {
 			}
 		}
 	}
-	// Span-shape spot checks on the reference ordering: windows spans for
-	// every cell in rack order, then barriers, then the coordinator fold.
-	if want[0] != (ev{Track: 0, Window: 0, Name: "window"}) {
-		t.Errorf("first span = %+v, want cell 0 window 0", want[0])
+	// Span-shape spot checks on the reference ordering: each barrier opens
+	// with the coordinator route pass, then per cell in rack order its
+	// window spans plus one batch and one barrier span, then the
+	// coordinator fold. Window/batch/barrier/fold/route spans carry the
+	// barrier index in Window except per-window "window" spans, which
+	// carry the absolute window index.
+	if want[0] != (ev{Track: obs.TimelineCoordinator, Window: 0, Name: "route"}) {
+		t.Errorf("first span = %+v, want coordinator route for barrier 0", want[0])
 	}
-	perWindow := map[string]int{}
+	perBarrier := map[string]int{}
+	windowSpans := 0
 	for _, e := range want {
+		if e.Name == "window" {
+			if e.Window == 0 {
+				windowSpans++
+			}
+			continue
+		}
 		if e.Window == 0 {
-			perWindow[e.Name]++
+			perBarrier[e.Name]++
 		}
 	}
-	if perWindow["window"] != 4 || perWindow["barrier"] != 4 || perWindow["fold"] != 1 || perWindow["route"] != 1 {
-		t.Errorf("window-0 span census = %v, want 4 window / 4 barrier / 1 fold / 1 route", perWindow)
+	if windowSpans != 4 || perBarrier["batch"] != 4 || perBarrier["barrier"] != 4 || perBarrier["fold"] != 1 || perBarrier["route"] != 1 {
+		t.Errorf("barrier-0 span census = %v (+%d window-0 spans), want 4 window / 4 batch / 4 barrier / 1 fold / 1 route",
+			perBarrier, windowSpans)
 	}
 }
 
@@ -188,24 +200,34 @@ func TestShardImbalanceReport(t *testing.T) {
 	if im == nil {
 		t.Fatal("decomposed run has no imbalance report")
 	}
-	if im.Cells != 4 || len(im.BusyNs) != 4 || len(im.BarrierWaitNs) != 4 || len(im.SlowestWindows) != 4 {
+	if im.Cells != 4 || len(im.BusyNs) != 4 || len(im.BarrierWaitNs) != 4 || len(im.SlowestBarriers) != 4 {
 		t.Fatalf("report shape wrong: %+v", im)
 	}
-	if im.Windows <= 0 {
-		t.Fatalf("windows = %d", im.Windows)
+	if im.Windows <= 0 || im.Barriers <= 0 || im.Barriers > im.Windows {
+		t.Fatalf("windows = %d, barriers = %d", im.Windows, im.Barriers)
+	}
+	if got, want := im.WindowsPerBarrier, float64(im.Windows)/float64(im.Barriers); got != want {
+		t.Fatalf("windows per barrier %g, want %g", got, want)
+	}
+	if im.Workers < 1 || im.Workers > im.Cells ||
+		len(im.WorkerBusyNs) != im.Workers || len(im.WorkerWaitNs) != im.Workers {
+		t.Fatalf("worker accounting shape wrong: %+v", im)
 	}
 	if im.BarrierWaitFraction < 0 || im.BarrierWaitFraction > 1 {
 		t.Fatalf("barrier-wait fraction %g outside [0,1]", im.BarrierWaitFraction)
 	}
+	if im.CellWaitFraction < 0 || im.CellWaitFraction > 1 {
+		t.Fatalf("cell-wait fraction %g outside [0,1]", im.CellWaitFraction)
+	}
 	sumSlowest := 0
-	for i := range im.SlowestWindows {
-		sumSlowest += im.SlowestWindows[i]
+	for i := range im.SlowestBarriers {
+		sumSlowest += im.SlowestBarriers[i]
 		if im.BusyNs[i] < 0 || im.BarrierWaitNs[i] < 0 {
 			t.Fatalf("negative time for cell %d: %+v", i, im)
 		}
 	}
-	if sumSlowest != im.Windows {
-		t.Fatalf("slowest-window counts sum to %d, want %d", sumSlowest, im.Windows)
+	if sumSlowest != im.Barriers {
+		t.Fatalf("slowest-barrier counts sum to %d, want %d", sumSlowest, im.Barriers)
 	}
 	if im.SlowestCell < 0 || im.SlowestCell >= im.Cells {
 		t.Fatalf("slowest cell %d out of range", im.SlowestCell)
@@ -232,8 +254,9 @@ func TestShardImbalanceReport(t *testing.T) {
 }
 
 // TestShardOnWindowHeartbeat checks the decomposed heartbeat: one
-// callback per window, monotone sim time, cumulative counters matching
-// the final result.
+// callback per barrier, monotone sim time and window index, cumulative
+// counters matching the final result, and per-cell wall arrays shaped
+// to the fabric.
 func TestShardOnWindowHeartbeat(t *testing.T) {
 	cfg := shardObsConfig(t, 2)
 	var beats []ShardProgress
@@ -242,15 +265,21 @@ func TestShardOnWindowHeartbeat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(beats) != res.Imbalance.Windows {
-		t.Fatalf("%d heartbeats, %d windows", len(beats), res.Imbalance.Windows)
+	if len(beats) != res.Imbalance.Barriers {
+		t.Fatalf("%d heartbeats, %d barriers", len(beats), res.Imbalance.Barriers)
 	}
 	for i, b := range beats {
-		if b.Window != i || b.Cells != 4 || b.Duration != cfg.Duration {
+		if b.Barrier != i || b.Cells != 4 || b.Duration != cfg.Duration {
 			t.Fatalf("beat %d malformed: %+v", i, b)
 		}
-		if i > 0 && b.SimTime <= beats[i-1].SimTime {
-			t.Fatalf("beat %d sim time not monotone", i)
+		if b.Workers < 1 || b.Workers > b.Cells || b.WindowsPerBarrier <= 0 {
+			t.Fatalf("beat %d pool fields malformed: %+v", i, b)
+		}
+		if len(b.CellBusyNs) != 4 || len(b.CellWaitNs) != 4 {
+			t.Fatalf("beat %d per-cell arrays malformed: %+v", i, b)
+		}
+		if i > 0 && (b.SimTime <= beats[i-1].SimTime || b.Window <= beats[i-1].Window) {
+			t.Fatalf("beat %d position not monotone", i)
 		}
 		if i > 0 && (b.Decisions < beats[i-1].Decisions || b.CompletedFlows < beats[i-1].CompletedFlows) {
 			t.Fatalf("beat %d counters regressed", i)
@@ -260,6 +289,9 @@ func TestShardOnWindowHeartbeat(t *testing.T) {
 	if last.SimTime != cfg.Duration || last.Decisions != res.Decisions || last.CompletedFlows != res.CompletedFlows {
 		t.Fatalf("final beat %+v does not match result (decisions %d completed %d)",
 			last, res.Decisions, res.CompletedFlows)
+	}
+	if last.Window+1 != res.Imbalance.Windows {
+		t.Fatalf("final beat window %d, run had %d windows", last.Window, res.Imbalance.Windows)
 	}
 }
 

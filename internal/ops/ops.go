@@ -55,6 +55,26 @@ func (r RunState) PercentDone() float64 {
 	return 100 * r.SimTimeS / r.DurationS
 }
 
+// ShardState is the decomposed engine's pool-level position, published
+// at barriers (wire fabricsim.ShardConfig.OnWindow to PublishShard) and
+// rendered into /metrics as the basrpt_shard_* family. Everything here
+// is wall-clock plane: barrier cadence, worker-pool shape, and per-cell
+// busy/wait attribution.
+type ShardState struct {
+	// Barriers is the number of coordinator barriers completed and
+	// WindowsPerBarrier the cumulative mean batch width.
+	Barriers          int     `json:"barriers"`
+	WindowsPerBarrier float64 `json:"windows_per_barrier"`
+	// Cells and Workers are the PDES cell count and the persistent
+	// worker-goroutine count executing them.
+	Cells   int `json:"cells"`
+	Workers int `json:"workers"`
+	// CellBusyNs and CellWaitNs are per-cell cumulative wall-clock busy
+	// and barrier-wait nanoseconds (indexed by rack).
+	CellBusyNs []int64 `json:"cell_busy_ns"`
+	CellWaitNs []int64 `json:"cell_wait_ns"`
+}
+
 // SeedState is the last observed lifecycle phase of one (task, seed)
 // runner unit, for the /progress seeds table.
 type SeedState struct {
@@ -71,6 +91,7 @@ type Server struct {
 	started time.Time
 	snap    obs.Snapshot
 	run     *RunState
+	shard   *ShardState
 	units   map[string]int // (task,seed) key -> index into seeds
 	seeds   []SeedState
 	done    int
@@ -145,6 +166,15 @@ func (s *Server) PublishRun(r RunState) {
 	s.mu.Unlock()
 }
 
+// PublishShard replaces the sharded-engine pool state served by
+// /metrics and /progress. The per-cell slices are retained, not copied
+// — hand the server its own copies (ShardProgress already does).
+func (s *Server) PublishShard(st ShardState) {
+	s.mu.Lock()
+	s.shard = &st
+	s.mu.Unlock()
+}
+
 // PublishUnit folds one runner lifecycle callback into the per-seed
 // state table. Wire it directly as (or from) a runner.Config.OnProgress
 // callback; the runner already serializes callbacks, but PublishUnit
@@ -174,6 +204,7 @@ type progressDoc struct {
 	UptimeS    float64     `json:"uptime_s"`
 	Run        *RunState   `json:"run,omitempty"`
 	PercentRun float64     `json:"percent_done,omitempty"`
+	Shard      *ShardState `json:"shard,omitempty"`
 	UnitsDone  int         `json:"units_done"`
 	UnitsTotal int         `json:"units_total"`
 	Seeds      []SeedState `json:"seeds,omitempty"`
@@ -192,6 +223,10 @@ func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
 		doc.Run = &r
 		doc.PercentRun = r.PercentDone()
 	}
+	if s.shard != nil {
+		sh := *s.shard
+		doc.Shard = &sh
+	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -207,10 +242,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		r := *s.run
 		run = &r
 	}
+	var shard *ShardState
+	if s.shard != nil {
+		sh := *s.shard
+		shard = &sh
+	}
 	done, total := s.done, s.total
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteMetrics(w, snap, run, done, total) //nolint:errcheck // best-effort network write
+	if shard != nil {
+		WriteShardMetrics(w, shard) //nolint:errcheck // best-effort network write
+	}
 }
 
 // metricName mangles an obs instrument name into a Prometheus metric
@@ -291,6 +334,47 @@ func WriteMetrics(w io.Writer, snap obs.Snapshot, run *RunState, unitsDone, unit
 		if _, err := fmt.Fprintf(w, "# TYPE basrpt_units_done gauge\nbasrpt_units_done %d\n# TYPE basrpt_units_total gauge\nbasrpt_units_total %d\n",
 			unitsDone, unitsTotal); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// WriteShardMetrics renders the sharded engine's pool state as the
+// basrpt_shard_* Prometheus family: barrier cadence and pool shape as
+// scalar gauges, plus per-cell busy/wait seconds as cell-labeled gauge
+// series (one sample per rack, labeled cell="<rack>").
+func WriteShardMetrics(w io.Writer, st *ShardState) error {
+	for _, kv := range []struct {
+		name string
+		v    float64
+	}{
+		{"basrpt_shard_barriers", float64(st.Barriers)},
+		{"basrpt_shard_windows_per_barrier", st.WindowsPerBarrier},
+		{"basrpt_shard_cells", float64(st.Cells)},
+		{"basrpt_shard_workers", float64(st.Workers)},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", kv.name, kv.name, kv.v); err != nil {
+			return err
+		}
+	}
+	if len(st.CellBusyNs) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE basrpt_shard_cell_busy_seconds gauge\n"); err != nil {
+			return err
+		}
+		for i, ns := range st.CellBusyNs {
+			if _, err := fmt.Fprintf(w, "basrpt_shard_cell_busy_seconds{cell=\"%d\"} %g\n", i, float64(ns)/1e9); err != nil {
+				return err
+			}
+		}
+	}
+	if len(st.CellWaitNs) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE basrpt_shard_cell_wait_seconds gauge\n"); err != nil {
+			return err
+		}
+		for i, ns := range st.CellWaitNs {
+			if _, err := fmt.Fprintf(w, "basrpt_shard_cell_wait_seconds{cell=\"%d\"} %g\n", i, float64(ns)/1e9); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -42,6 +42,11 @@ func TestServerEndpoints(t *testing.T) {
 	h.Observe(900)
 	s.PublishSnapshot(reg.Snapshot())
 	s.PublishRun(RunState{SimTimeS: 1.5, DurationS: 3, Windows: 60, Decisions: 123, ArrivedFlows: 10, CompletedFlows: 7})
+	s.PublishShard(ShardState{
+		Barriers: 8, WindowsPerBarrier: 7.5, Cells: 2, Workers: 2,
+		CellBusyNs: []int64{2_500_000_000, 1_000_000_000},
+		CellWaitNs: []int64{0, 1_500_000_000},
+	})
 	s.PublishUnit(runner.Progress{Phase: runner.PhaseStart, Done: 0, Total: 2, Task: "srpt/0.8", Seed: 11})
 	s.PublishUnit(runner.Progress{Phase: runner.PhaseDone, Done: 1, Total: 2, Task: "srpt/0.8", Seed: 11})
 	s.PublishUnit(runner.Progress{Phase: runner.PhaseFailed, Done: 2, Total: 2, Task: "srpt/0.9", Seed: 12, Err: errors.New("boom")})
@@ -65,6 +70,12 @@ func TestServerEndpoints(t *testing.T) {
 		"basrpt_run_windows 60",
 		"basrpt_units_done 2",
 		"basrpt_units_total 2",
+		"# TYPE basrpt_shard_windows_per_barrier gauge",
+		"basrpt_shard_windows_per_barrier 7.5",
+		"basrpt_shard_barriers 8",
+		"basrpt_shard_workers 2",
+		`basrpt_shard_cell_busy_seconds{cell="0"} 2.5`,
+		`basrpt_shard_cell_wait_seconds{cell="1"} 1.5`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, body)
@@ -79,6 +90,7 @@ func TestServerEndpoints(t *testing.T) {
 		UptimeS    float64 `json:"uptime_s"`
 		Run        *RunState
 		Percent    float64     `json:"percent_done"`
+		Shard      *ShardState `json:"shard"`
 		UnitsDone  int         `json:"units_done"`
 		UnitsTotal int         `json:"units_total"`
 		Seeds      []SeedState `json:"seeds"`
@@ -88,6 +100,10 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if doc.Run == nil || doc.Run.SimTimeS != 1.5 || doc.Percent != 50 {
 		t.Fatalf("run state wrong: %s", body)
+	}
+	if doc.Shard == nil || doc.Shard.Barriers != 8 || doc.Shard.WindowsPerBarrier != 7.5 ||
+		len(doc.Shard.CellBusyNs) != 2 {
+		t.Fatalf("shard state wrong: %s", body)
 	}
 	if doc.UnitsDone != 2 || doc.UnitsTotal != 2 {
 		t.Fatalf("units %d/%d, want 2/2: %s", doc.UnitsDone, doc.UnitsTotal, body)

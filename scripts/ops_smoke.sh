@@ -25,7 +25,10 @@ fail() {
 }
 
 # --- live endpoint: long enough run to be mid-flight when we poll -------
-"$OUT/basrptsim" -shards 4 -racks 8 -hosts 6 -duration 0.4 -load 0.7 \
+# (2 s simulated keeps the batched engine busy through every assertion
+# below; the run is killed once the checks pass, so wall cost is bounded
+# by the polling, not the horizon)
+"$OUT/basrptsim" -shards 4 -racks 8 -hosts 6 -duration 2 -load 0.7 \
     -ops 127.0.0.1:0 >"$OUT/run.log" 2>&1 &
 SIM_PID=$!
 trap 'kill "$SIM_PID" 2>/dev/null || true' EXIT
@@ -55,14 +58,27 @@ done
 grep -qE '^basrpt_run_sim_time_seconds [0-9]' "$OUT/metrics.txt" || fail "/metrics lacks basrpt_run_sim_time_seconds"
 grep -qE '^basrpt_run_percent_done [0-9]' "$OUT/metrics.txt" || fail "/metrics lacks basrpt_run_percent_done"
 
+# The sharded engine's pool plane must be live mid-run: barrier cadence
+# (windows per barrier > 0) and per-cell busy/wait attribution for every
+# cell of the 8-rack fixture.
+grep -qE '^basrpt_shard_windows_per_barrier [0-9.]+' "$OUT/metrics.txt" || fail "/metrics lacks basrpt_shard_windows_per_barrier"
+grep -qE '^basrpt_shard_barriers [1-9]' "$OUT/metrics.txt" || fail "/metrics lacks live basrpt_shard_barriers"
+grep -qE '^basrpt_shard_workers [1-9]' "$OUT/metrics.txt" || fail "/metrics lacks basrpt_shard_workers"
+grep -qE '^basrpt_shard_cell_busy_seconds\{cell="0"\} [0-9.]' "$OUT/metrics.txt" || fail "/metrics lacks per-cell busy attribution"
+grep -qE '^basrpt_shard_cell_wait_seconds\{cell="7"\} [0-9.]' "$OUT/metrics.txt" || fail "/metrics lacks per-cell wait attribution"
+
 curl -sf "$URL/progress" >"$OUT/progress.json" || fail "/progress unreachable"
 python3 - "$OUT/progress.json" <<'PYEOF' || fail "/progress is not well-formed"
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["uptime_s"] >= 0, doc
 run = doc.get("run")
-assert run is not None and run["duration_s"] == 0.4, doc
+assert run is not None and run["duration_s"] == 2, doc
 assert 0 <= doc.get("percent_done", 0) <= 100, doc
+shard = doc.get("shard")
+assert shard is not None and shard["cells"] == 8, doc
+assert shard["barriers"] >= 1 and shard["windows_per_barrier"] > 0, doc
+assert len(shard["cell_busy_ns"]) == 8 and len(shard["cell_wait_ns"]) == 8, doc
 PYEOF
 
 curl -sf "$URL/debug/pprof/cmdline" >/dev/null || fail "pprof endpoint unreachable"
@@ -82,6 +98,7 @@ assert len(events) > 10, f"only {len(events)} events"
 names = {e["args"]["name"] for e in events if e.get("ph") == "M" and e.get("name") == "thread_name"}
 assert "cell 0" in names and "coordinator" in names, names
 assert any(e.get("ph") == "X" and e.get("name") == "window" for e in events)
+assert any(e.get("ph") == "X" and e.get("name") == "batch" for e in events)
 assert any(e.get("ph") == "X" and e.get("name") == "barrier" for e in events)
 PYEOF
 
